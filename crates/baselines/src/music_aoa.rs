@@ -1,0 +1,312 @@
+//! MUSIC-AoA: antenna-only MUSIC (paper Sec. 3.1.1 / Fig. 8a's baseline).
+//!
+//! This is the AoA estimator of Phaser's localization application — the
+//! paper's "practical implementation of ArrayTrack" on a 3-antenna NIC.
+//! Each subcarrier's 3×1 CSI column is a covariance snapshot; the steering
+//! model contains only the inter-antenna phase `Φ(θ)` (AoA introduces no
+//! measurable phase across subcarriers, Sec. 3.1.2).
+//!
+//! With M antennas the signal subspace can hold at most M − 1 paths, so in
+//! a 6–8-path indoor channel this estimator is fundamentally
+//! under-resolved — exactly the deficiency SpotFi's joint AoA/ToF estimator
+//! fixes. Optional forward spatial smoothing ([`MusicAoaConfig::spatial_smoothing`],
+//! ArrayTrack's trick [Paulraj et al.]) trades one more antenna of aperture
+//! for robustness to coherent paths.
+
+use spotfi_core::config::GridSpec;
+use spotfi_core::error::{Result, SpotFiError};
+use spotfi_core::steering::phi;
+use spotfi_math::eigen::hermitian_eigen;
+use spotfi_math::{c64, CMat};
+
+/// Configuration of the MUSIC-AoA baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct MusicAoaConfig {
+    /// AoA grid, degrees.
+    pub aoa_grid_deg: GridSpec,
+    /// Maximum signal-subspace dimension (≤ antennas − 1).
+    pub max_paths: usize,
+    /// Eigenvalue threshold ratio for the noise subspace.
+    pub noise_threshold_ratio: f64,
+    /// Forward spatial smoothing over 2-antenna subarrays.
+    pub spatial_smoothing: bool,
+    /// Carrier frequency, Hz (for the steering phase).
+    pub carrier_hz: f64,
+    /// Antenna spacing, meters.
+    pub spacing_m: f64,
+}
+
+impl MusicAoaConfig {
+    /// Defaults matching the paper's comparison: 1° grid, smoothing on,
+    /// Intel 5300 geometry.
+    pub fn intel5300() -> Self {
+        let carrier = spotfi_channel::constants::DEFAULT_CARRIER_HZ;
+        MusicAoaConfig {
+            aoa_grid_deg: GridSpec::new(-90.0, 90.0, 1.0),
+            max_paths: 2,
+            noise_threshold_ratio: 0.03,
+            spatial_smoothing: false,
+            carrier_hz: carrier,
+            spacing_m: spotfi_channel::constants::half_wavelength_spacing(carrier),
+        }
+    }
+}
+
+/// A 1-D AoA pseudospectrum.
+#[derive(Clone, Debug)]
+pub struct MusicAoaSpectrum {
+    /// The AoA grid, degrees.
+    pub aoa_grid_deg: GridSpec,
+    /// Pseudospectrum values over the grid.
+    pub values: Vec<f64>,
+}
+
+impl MusicAoaSpectrum {
+    /// AoA of the global spectrum maximum, degrees.
+    pub fn argmax_deg(&self) -> f64 {
+        let mut best = (0usize, f64::MIN);
+        for (i, &v) in self.values.iter().enumerate() {
+            if v > best.1 {
+                best = (i, v);
+            }
+        }
+        self.aoa_grid_deg.value(best.0)
+    }
+
+    /// Local maxima as `(aoa_deg, value)` pairs, strongest first, up to
+    /// `max_peaks`.
+    pub fn peaks(&self, max_peaks: usize) -> Vec<(f64, f64)> {
+        let n = self.values.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let v = self.values[i];
+            let left_ok = i == 0 || self.values[i - 1] < v;
+            let right_ok = i + 1 == n || self.values[i + 1] <= v;
+            // Boundary points count only if strictly above their neighbor.
+            let interior = i > 0 && i + 1 < n;
+            if (interior && left_ok && right_ok)
+                || (!interior && left_ok && right_ok && n > 1)
+            {
+                out.push((self.aoa_grid_deg.value(i), v));
+            }
+        }
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        out.truncate(max_peaks);
+        out
+    }
+
+    /// Spectrum value at an arbitrary AoA by linear interpolation (used by
+    /// the ArrayTrack localizer).
+    pub fn value_at_deg(&self, aoa_deg: f64) -> f64 {
+        let g = self.aoa_grid_deg;
+        let pos = ((aoa_deg - g.min) / g.step).clamp(0.0, (g.len() - 1) as f64);
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.values[lo]
+        } else {
+            let w = pos - lo as f64;
+            self.values[lo] * (1.0 - w) + self.values[hi] * w
+        }
+    }
+}
+
+/// Computes the MUSIC-AoA pseudospectrum of one packet's CSI
+/// (`antennas × subcarriers`).
+pub fn music_aoa_spectrum(csi: &CMat, cfg: &MusicAoaConfig) -> Result<MusicAoaSpectrum> {
+    let (m_ant, n_sub) = csi.shape();
+    if m_ant < 2 || n_sub == 0 {
+        return Err(SpotFiError::DegenerateCsi);
+    }
+    if !csi.as_slice().iter().all(|z| z.is_finite()) {
+        return Err(SpotFiError::DegenerateCsi);
+    }
+
+    // Covariance across subcarrier snapshots; optionally forward-smoothed
+    // over 2-antenna subarrays.
+    let (r, dim) = if cfg.spatial_smoothing && m_ant >= 2 {
+        let sub = m_ant - 1; // subarray size
+        let mut r = CMat::zeros(sub, sub);
+        for shift in 0..=(m_ant - sub) {
+            let rows: Vec<usize> = (shift..shift + sub).collect();
+            let cols: Vec<usize> = (0..n_sub).collect();
+            let x = csi.select(&rows, &cols);
+            r = &r + &x.mul_hermitian_self();
+        }
+        (r, sub)
+    } else {
+        (csi.mul_hermitian_self(), m_ant)
+    };
+
+    let eig = hermitian_eigen(&r);
+    let lmax = eig.values[0].max(0.0);
+    if lmax <= 0.0 {
+        return Err(SpotFiError::DegenerateCsi);
+    }
+    let threshold = cfg.noise_threshold_ratio * lmax;
+    let by_threshold = eig.values.iter().filter(|&&l| l >= threshold).count();
+    // Keep at least one noise vector.
+    let signal = by_threshold.min(cfg.max_paths).min(dim - 1).max(1);
+
+    // Noise projector G = Σ_{k ≥ signal} v_k v_kᴴ.
+    let mut g = CMat::zeros(dim, dim);
+    for k in signal..dim {
+        let v = eig.vectors.col(k);
+        for j in 0..dim {
+            let vj = v[j].conj();
+            for i in 0..dim {
+                g[(i, j)] += v[i] * vj;
+            }
+        }
+    }
+
+    let grid = cfg.aoa_grid_deg;
+    let values: Vec<f64> = (0..grid.len())
+        .map(|i| {
+            let theta = grid.value(i).to_radians();
+            let step = phi(theta.sin(), cfg.spacing_m, cfg.carrier_hz);
+            let mut a = Vec::with_capacity(dim);
+            let mut cur = c64::ONE;
+            for _ in 0..dim {
+                a.push(cur);
+                cur *= step;
+            }
+            1.0 / g.quadratic_form(&a).re.max(1e-12)
+        })
+        .collect();
+
+    Ok(MusicAoaSpectrum {
+        aoa_grid_deg: grid,
+        values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotfi_channel::constants::INTEL5300_SUBCARRIER_SPACING_HZ;
+    use spotfi_core::steering::steering_vector;
+
+    fn cfg() -> MusicAoaConfig {
+        MusicAoaConfig::intel5300()
+    }
+
+    /// CSI with paths at (aoa_deg, tof_ns, gain) built from the joint
+    /// steering model — the ToF ramp decorrelates paths across subcarriers.
+    fn csi_for_paths(paths: &[(f64, f64, c64)]) -> CMat {
+        let c = cfg();
+        let mut csi = CMat::zeros(3, 30);
+        for &(aoa, tof, gain) in paths {
+            let v = steering_vector(
+                aoa.to_radians().sin(),
+                tof * 1e-9,
+                3,
+                30,
+                c.spacing_m,
+                c.carrier_hz,
+                INTEL5300_SUBCARRIER_SPACING_HZ,
+            );
+            for m in 0..3 {
+                for n in 0..30 {
+                    csi[(m, n)] += v[m * 30 + n] * gain;
+                }
+            }
+        }
+        csi
+    }
+
+    #[test]
+    fn single_path_peak_at_truth() {
+        let csi = csi_for_paths(&[(25.0, 40.0, c64::ONE)]);
+        let spec = music_aoa_spectrum(&csi, &cfg()).unwrap();
+        assert!((spec.argmax_deg() - 25.0).abs() <= 2.0, "{}", spec.argmax_deg());
+    }
+
+    #[test]
+    fn works_without_smoothing_for_incoherent_paths() {
+        let mut c = cfg();
+        c.spatial_smoothing = false;
+        // Two paths with very different ToFs decorrelate across subcarrier
+        // snapshots, so even unsmoothed 3-antenna MUSIC sees them.
+        let csi = csi_for_paths(&[(-40.0, 20.0, c64::ONE), (35.0, 150.0, c64::ONE)]);
+        let spec = music_aoa_spectrum(&csi, &c).unwrap();
+        let peaks = spec.peaks(2);
+        assert_eq!(peaks.len(), 2);
+        let mut aoas: Vec<f64> = peaks.iter().map(|p| p.0).collect();
+        aoas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((aoas[0] + 40.0).abs() < 4.0, "{:?}", aoas);
+        assert!((aoas[1] - 35.0).abs() < 4.0, "{:?}", aoas);
+    }
+
+    #[test]
+    fn under_resolved_with_many_paths() {
+        // Five paths with only 3 antennas: MUSIC-AoA cannot resolve them
+        // all; this documents the baseline's fundamental limitation (the
+        // reason SpotFi exists). The spectrum has at most 2 usable peaks.
+        let csi = csi_for_paths(&[
+            (-60.0, 15.0, c64::ONE),
+            (-25.0, 60.0, c64::new(0.8, 0.2)),
+            (5.0, 110.0, c64::new(0.0, 0.9)),
+            (35.0, 170.0, c64::new(-0.6, 0.3)),
+            (65.0, 230.0, c64::new(0.5, -0.5)),
+        ]);
+        let spec = music_aoa_spectrum(&csi, &cfg()).unwrap();
+        let peaks = spec.peaks(5);
+        // It should NOT find 5 distinct accurate peaks.
+        let accurate = [-60.0, -25.0, 5.0, 35.0, 65.0]
+            .iter()
+            .filter(|&&truth| peaks.iter().any(|p| (p.0 - truth).abs() < 3.0))
+            .count();
+        assert!(
+            accurate < 5,
+            "3-antenna MUSIC should not resolve 5 paths, but found all"
+        );
+    }
+
+    #[test]
+    fn value_at_interpolates() {
+        let csi = csi_for_paths(&[(0.0, 50.0, c64::ONE)]);
+        let spec = music_aoa_spectrum(&csi, &cfg()).unwrap();
+        let exact = spec.value_at_deg(10.0);
+        let idx = ((10.0 - spec.aoa_grid_deg.min) / spec.aoa_grid_deg.step) as usize;
+        assert!((exact - spec.values[idx]).abs() < 1e-9);
+        // Interpolated value between grid points lies between neighbors.
+        let mid = spec.value_at_deg(10.5);
+        let (a, b) = (spec.values[idx], spec.values[idx + 1]);
+        assert!(mid >= a.min(b) - 1e-12 && mid <= a.max(b) + 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(music_aoa_spectrum(&CMat::zeros(3, 30), &cfg()).is_err());
+        assert!(music_aoa_spectrum(&CMat::zeros(1, 30), &cfg()).is_err());
+    }
+
+    #[test]
+    fn coherent_paths_defeat_three_antenna_music() {
+        // Two paths with the *same* ToF are fully coherent across
+        // subcarriers. Even with forward smoothing, a 3-antenna array only
+        // offers 2-element subarrays — one signal dimension — so the two
+        // paths cannot both be resolved. The estimator must still return a
+        // finite spectrum whose peak lies in the angular span between the
+        // two paths (a blended bearing), not crash or return garbage.
+        let csi = csi_for_paths(&[(-30.0, 80.0, c64::ONE), (40.0, 80.0, c64::ONE)]);
+        let spec = music_aoa_spectrum(&csi, &cfg()).unwrap();
+        assert!(spec.values.iter().all(|v| v.is_finite() && *v > 0.0));
+        let peak = spec.argmax_deg();
+        assert!(
+            (-90.0..=90.0).contains(&peak),
+            "peak {} out of range",
+            peak
+        );
+        // This limitation is exactly why the paper needs joint AoA/ToF
+        // estimation: document that the coherent case is NOT resolved.
+        let both_resolved = {
+            let peaks = spec.peaks(2);
+            peaks.len() == 2
+                && peaks.iter().any(|p| (p.0 + 30.0).abs() < 3.0)
+                && peaks.iter().any(|p| (p.0 - 40.0).abs() < 3.0)
+        };
+        assert!(!both_resolved, "3-antenna MUSIC should not resolve coherent paths");
+    }
+}

@@ -1,0 +1,125 @@
+//! RSSI-only trilateration (RADAR-class baseline, paper Sec. 2).
+//!
+//! The deployable-but-coarse approach SpotFi's related work surveys: convert
+//! each AP's RSSI to a distance through a log-distance path-loss model and
+//! find the point minimizing the squared range residuals. Median errors of
+//! 2–4 m are expected indoors — included for context in the evaluation and
+//! as a sanity floor for the figures.
+
+use spotfi_channel::Point;
+use spotfi_core::error::{Result, SpotFiError};
+use spotfi_core::pathloss::PathLossModel;
+use spotfi_math::optimize::gauss_newton;
+
+/// One AP's RSSI observation.
+#[derive(Clone, Copy, Debug)]
+pub struct RssiObservation {
+    /// AP position, meters.
+    pub position: Point,
+    /// Observed RSSI, dBm.
+    pub rssi_dbm: f64,
+}
+
+/// Localizes a target from RSSI observations under a known path-loss model.
+///
+/// Solves `min_x Σ_i (‖x − a_i‖ − d̂_i)²` with Gauss–Newton started from the
+/// weighted centroid (closer APs weigh more). Requires ≥ 3 observations.
+pub fn rssi_localize(obs: &[RssiObservation], model: &PathLossModel) -> Result<Point> {
+    if obs.len() < 3 {
+        return Err(SpotFiError::InsufficientAps { usable: obs.len() });
+    }
+    let ranges: Vec<f64> = obs
+        .iter()
+        .map(|o| model.invert_distance(o.rssi_dbm))
+        .collect();
+
+    // Weighted centroid start: weight ∝ 1 / d̂².
+    let mut wx = 0.0;
+    let mut wy = 0.0;
+    let mut wsum = 0.0;
+    for (o, &d) in obs.iter().zip(&ranges) {
+        let w = 1.0 / (d * d).max(1e-6);
+        wx += w * o.position.x;
+        wy += w * o.position.y;
+        wsum += w;
+    }
+    let x0 = [wx / wsum, wy / wsum];
+
+    let (sol, _cost) = gauss_newton(
+        |p, out| {
+            out.clear();
+            for (o, &d) in obs.iter().zip(&ranges) {
+                let dx = p[0] - o.position.x;
+                let dy = p[1] - o.position.y;
+                out.push((dx * dx + dy * dy).sqrt().max(1e-6) - d);
+            }
+        },
+        &x0,
+        100,
+        1e-12,
+    );
+    Ok(Point::new(sol[0], sol[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PathLossModel {
+        PathLossModel {
+            p0_dbm: -40.0,
+            exponent: 3.0,
+        }
+    }
+
+    fn perfect_obs(target: Point, aps: &[Point]) -> Vec<RssiObservation> {
+        aps.iter()
+            .map(|&p| RssiObservation {
+                position: p,
+                rssi_dbm: model().predict_dbm(p.distance(target)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_rssi_localizes() {
+        let target = Point::new(4.0, 6.0);
+        let aps = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ];
+        let est = rssi_localize(&perfect_obs(target, &aps), &model()).unwrap();
+        assert!(est.distance(target) < 0.05, "error {}", est.distance(target));
+    }
+
+    #[test]
+    fn shadowing_noise_degrades_gracefully() {
+        // ±3 dB RSSI error translates to large range errors — the estimate
+        // should still be in the right region (meters, not tens of meters).
+        let target = Point::new(3.0, 3.0);
+        let aps = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ];
+        let mut obs = perfect_obs(target, &aps);
+        let biases = [3.0, -3.0, 2.0, -2.0];
+        for (o, b) in obs.iter_mut().zip(biases) {
+            o.rssi_dbm += b;
+        }
+        let est = rssi_localize(&obs, &model()).unwrap();
+        assert!(est.distance(target) < 5.0, "error {}", est.distance(target));
+    }
+
+    #[test]
+    fn requires_three_observations() {
+        let obs = perfect_obs(Point::new(1.0, 1.0), &[Point::new(0.0, 0.0), Point::new(5.0, 0.0)]);
+        assert!(matches!(
+            rssi_localize(&obs, &model()),
+            Err(SpotFiError::InsufficientAps { usable: 2 })
+        ));
+    }
+}

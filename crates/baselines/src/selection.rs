@@ -1,0 +1,178 @@
+//! Direct-path selection baselines (paper Sec. 4.4.2 / Fig. 8b).
+//!
+//! All three selectors consume SpotFi's own super-resolution path estimates
+//! (clusters of per-packet (AoA, ToF) peaks) so the comparison isolates the
+//! *selection* step from estimation quality:
+//!
+//! * [`select_lteye`] — LTEye's rule: smallest ToF. Valid here because the
+//!   (unknown) STO shifts all ToFs equally, preserving their order.
+//! * [`select_cupid`] — CUPID's rule: the strongest MUSIC peak. Fails when
+//!   obstructions make a reflection stronger than the direct path.
+//! * [`select_oracle`] — upper bound: the cluster whose AoA is closest to
+//!   ground truth.
+
+use spotfi_core::cluster::Clustering;
+use spotfi_core::peaks::PathEstimate;
+
+/// A baseline's selected direct path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SelectedPath {
+    /// Selected AoA, degrees.
+    pub aoa_deg: f64,
+    /// Selected (relative) ToF, nanoseconds.
+    pub tof_ns: f64,
+}
+
+/// LTEye-style selection: the cluster with the smallest mean ToF.
+///
+/// ```
+/// use spotfi_core::cluster::cluster_estimates;
+/// use spotfi_core::peaks::PathEstimate;
+/// use spotfi_baselines::selection::select_lteye;
+///
+/// // An early path at −20° and a late reflection at 40°.
+/// let estimates: Vec<PathEstimate> = (0..10)
+///     .flat_map(|i| {
+///         let j = i as f64 * 0.1;
+///         [
+///             PathEstimate { aoa_deg: -20.0 + j, tof_ns: 30.0 + j, power: 5.0 },
+///             PathEstimate { aoa_deg: 40.0 + j, tof_ns: 180.0 + j, power: 50.0 },
+///         ]
+///     })
+///     .collect();
+/// let clustering = cluster_estimates(&estimates, 2, 100);
+/// let sel = select_lteye(&clustering).unwrap();
+/// assert!((sel.aoa_deg + 20.0).abs() < 2.0); // picks the earliest
+/// ```
+pub fn select_lteye(clustering: &Clustering) -> Option<SelectedPath> {
+    clustering
+        .clusters
+        .iter()
+        .min_by(|a, b| a.mean_tof_ns.partial_cmp(&b.mean_tof_ns).unwrap())
+        .map(|c| SelectedPath {
+            aoa_deg: c.mean_aoa_deg,
+            tof_ns: c.mean_tof_ns,
+        })
+}
+
+/// CUPID-style selection: the cluster containing the single strongest
+/// pseudospectrum peak. `estimates` must be the same slice the clustering
+/// was built from (cluster members index into it).
+pub fn select_cupid(clustering: &Clustering, estimates: &[PathEstimate]) -> Option<SelectedPath> {
+    let mut best: Option<(f64, SelectedPath)> = None;
+    for c in &clustering.clusters {
+        for &m in &c.members {
+            let p = estimates.get(m)?;
+            if best.map_or(true, |(bp, _)| p.power > bp) {
+                best = Some((
+                    p.power,
+                    SelectedPath {
+                        aoa_deg: c.mean_aoa_deg,
+                        tof_ns: c.mean_tof_ns,
+                    },
+                ));
+            }
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+/// Oracle selection: the cluster whose mean AoA is closest to the ground
+/// truth direct-path AoA. This is the Fig. 8(b) upper bound — no real
+/// system can implement it.
+pub fn select_oracle(clustering: &Clustering, truth_aoa_deg: f64) -> Option<SelectedPath> {
+    clustering
+        .clusters
+        .iter()
+        .min_by(|a, b| {
+            (a.mean_aoa_deg - truth_aoa_deg)
+                .abs()
+                .partial_cmp(&(b.mean_aoa_deg - truth_aoa_deg).abs())
+                .unwrap()
+        })
+        .map(|c| SelectedPath {
+            aoa_deg: c.mean_aoa_deg,
+            tof_ns: c.mean_tof_ns,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotfi_core::cluster::cluster_estimates;
+
+    fn est(aoa: f64, tof: f64, power: f64) -> PathEstimate {
+        PathEstimate {
+            aoa_deg: aoa,
+            tof_ns: tof,
+            power,
+        }
+    }
+
+    /// Direct path at (−20°, 30 ns) with weak power (obstructed), strong
+    /// reflection at (40°, 180 ns).
+    fn obstructed_scenario() -> Vec<PathEstimate> {
+        let mut v = Vec::new();
+        for i in 0..10 {
+            let j = (i as f64 - 5.0) * 0.05;
+            v.push(est(-20.0 + j, 30.0 + j, 5.0));
+            v.push(est(40.0 + j * 2.0, 180.0 + j * 3.0, 50.0));
+        }
+        v
+    }
+
+    #[test]
+    fn lteye_picks_smallest_tof() {
+        let e = obstructed_scenario();
+        let c = cluster_estimates(&e, 2, 100);
+        let s = select_lteye(&c).unwrap();
+        assert!((s.aoa_deg + 20.0).abs() < 2.0, "{:?}", s);
+        assert!(s.tof_ns < 60.0);
+    }
+
+    #[test]
+    fn cupid_picks_strongest_even_when_wrong() {
+        let e = obstructed_scenario();
+        let c = cluster_estimates(&e, 2, 100);
+        let s = select_cupid(&c, &e).unwrap();
+        // The strong reflection wins — CUPID's documented failure mode.
+        assert!((s.aoa_deg - 40.0).abs() < 3.0, "{:?}", s);
+    }
+
+    #[test]
+    fn oracle_always_closest_to_truth() {
+        let e = obstructed_scenario();
+        let c = cluster_estimates(&e, 2, 100);
+        let s = select_oracle(&c, -19.0).unwrap();
+        assert!((s.aoa_deg + 20.0).abs() < 2.0);
+        let s2 = select_oracle(&c, 45.0).unwrap();
+        assert!((s2.aoa_deg - 40.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn empty_clustering_returns_none() {
+        let c = cluster_estimates(&[], 5, 100);
+        assert!(select_lteye(&c).is_none());
+        assert!(select_cupid(&c, &[]).is_none());
+        assert!(select_oracle(&c, 0.0).is_none());
+    }
+
+    #[test]
+    fn selectors_agree_in_benign_case() {
+        // Unobstructed: direct path is earliest AND strongest — every
+        // selector should agree.
+        let mut v = Vec::new();
+        for i in 0..10 {
+            let j = (i as f64 - 5.0) * 0.05;
+            v.push(est(10.0 + j, 25.0 + j, 100.0));
+            v.push(est(-50.0 + j, 200.0 + j, 10.0));
+        }
+        let c = cluster_estimates(&v, 2, 100);
+        let a = select_lteye(&c).unwrap();
+        let b = select_cupid(&c, &v).unwrap();
+        let o = select_oracle(&c, 10.0).unwrap();
+        assert!((a.aoa_deg - b.aoa_deg).abs() < 1e-9);
+        assert!((a.aoa_deg - o.aoa_deg).abs() < 1e-9);
+        assert!((a.aoa_deg - 10.0).abs() < 1.0);
+    }
+}

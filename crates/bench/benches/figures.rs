@@ -1,0 +1,90 @@
+//! Figure-regeneration benchmarks: one bench per figure of the SpotFi
+//! evaluation (paper Sec. 4).
+//!
+//! Each bench first runs the experiment at **full fidelity** once and
+//! prints the exact series the paper reports (medians, 80th percentiles,
+//! CDF rows) — so `cargo bench` regenerates every figure — and then times a
+//! trimmed configuration with Criterion so regressions in the pipeline's
+//! throughput are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spotfi_testbed::experiments::{ablation, fig5, fig7, fig8, fig9, through_wall, ExperimentOptions};
+
+/// Trimmed options for the timed portion.
+fn timed_opts() -> ExperimentOptions {
+    let mut o = ExperimentOptions::fast_test();
+    o.max_targets = Some(3);
+    o.packets_override = Some(6);
+    o
+}
+
+fn full_opts() -> ExperimentOptions {
+    ExperimentOptions::default()
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    println!("\n{}", fig5::render(&fig5::run(&full_opts())));
+    let opts = timed_opts();
+    c.bench_function("fig5_sanitize_and_cluster", |b| {
+        b.iter(|| fig5::run(&opts))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    for panel in [fig7::Panel::Office, fig7::Panel::Nlos, fig7::Panel::Corridor] {
+        println!("\n{}", fig7::render(&fig7::run(panel, &full_opts())));
+    }
+    let opts = timed_opts();
+    c.bench_function("fig7_office_localization", |b| {
+        b.iter(|| fig7::run(fig7::Panel::Office, &opts))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    println!("\n{}", fig8::render(&fig8::run(&full_opts())));
+    let opts = timed_opts();
+    c.bench_function("fig8_aoa_and_selection", |b| b.iter(|| fig8::run(&opts)));
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    println!("\n{}", fig9::render_density(&fig9::run_density(&full_opts())));
+    println!("\n{}", fig9::render_packets(&fig9::run_packets(&full_opts())));
+    let mut opts = timed_opts();
+    opts.max_targets = Some(2);
+    c.bench_function("fig9_density_sweep", |b| b.iter(|| fig9::run_density(&opts)));
+}
+
+fn bench_through_wall(c: &mut Criterion) {
+    println!(
+        "\n{}",
+        through_wall::render(&through_wall::run(&full_opts()))
+    );
+    let mut opts = timed_opts();
+    opts.max_targets = Some(2);
+    c.bench_function("through_wall_sweep", |b| {
+        b.iter(|| through_wall::run(&opts))
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    println!(
+        "\n{}",
+        ablation::render_channel(&ablation::run_channel_ablation(&full_opts()))
+    );
+    println!(
+        "\n{}",
+        ablation::render_algorithm(&ablation::run_algorithm_ablation(&full_opts()))
+    );
+    let mut opts = timed_opts();
+    opts.max_targets = Some(2);
+    c.bench_function("ablation_channel_sweep", |b| {
+        b.iter(|| ablation::run_channel_ablation(&opts))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5, bench_fig7, bench_fig8, bench_fig9, bench_ablations, bench_through_wall
+}
+criterion_main!(figures);

@@ -1,0 +1,120 @@
+//! Micro-benchmarks of the signal-processing kernels on the hot path of
+//! Algorithm 2: eigendecomposition, smoothing, MUSIC spectrum, sanitization,
+//! peak extraction, clustering, and the per-packet / per-AP pipeline stages.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spotfi_channel::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+use spotfi_core::cluster::cluster_estimates;
+use spotfi_core::music::{music_spectrum, noise_subspace};
+use spotfi_core::peaks::{find_peaks, PathEstimate};
+use spotfi_core::sanitize::sanitize_csi;
+use spotfi_core::smoothing::smoothed_csi;
+use spotfi_core::{ApPackets, SpotFi, SpotFiConfig};
+use spotfi_math::eigen::hermitian_eigen;
+use spotfi_math::{c64, CMat};
+
+/// A realistic packet from the office testbed.
+fn test_packets(n: usize) -> (AntennaArray, Vec<spotfi_channel::CsiPacket>) {
+    let plan = Floorplan::empty();
+    let array = AntennaArray::intel5300(
+        Point::new(0.0, 0.0),
+        std::f64::consts::FRAC_PI_2,
+        spotfi_channel::constants::DEFAULT_CARRIER_HZ,
+    );
+    let mut rng = StdRng::seed_from_u64(42);
+    let trace = PacketTrace::generate(
+        &plan,
+        Point::new(3.0, 7.0),
+        &array,
+        &TraceConfig::commodity(),
+        n,
+        &mut rng,
+    )
+    .unwrap();
+    (array, trace.packets)
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    // The 30×30 Hermitian eigendecomposition at the core of MUSIC.
+    let x = CMat::from_fn(30, 32, |r, cc| c64::cis(r as f64 * 0.7 + cc as f64 * 1.3));
+    let r = x.mul_hermitian_self();
+    c.bench_function("hermitian_eigen_30x30", |b| b.iter(|| hermitian_eigen(&r)));
+}
+
+fn bench_sanitize(c: &mut Criterion) {
+    let (_, packets) = test_packets(1);
+    let cfg = SpotFiConfig::default();
+    c.bench_function("sanitize_csi", |b| {
+        b.iter(|| sanitize_csi(&packets[0].csi, cfg.ofdm.subcarrier_spacing_hz).unwrap())
+    });
+}
+
+fn bench_smoothing(c: &mut Criterion) {
+    let (_, packets) = test_packets(1);
+    let cfg = SpotFiConfig::default();
+    let s = sanitize_csi(&packets[0].csi, cfg.ofdm.subcarrier_spacing_hz).unwrap();
+    c.bench_function("smoothed_csi_3x30_to_30x32", |b| {
+        b.iter(|| smoothed_csi(&s.csi, &cfg).unwrap())
+    });
+}
+
+fn bench_music(c: &mut Criterion) {
+    let (_, packets) = test_packets(1);
+    let cfg = SpotFiConfig::default();
+    let s = sanitize_csi(&packets[0].csi, cfg.ofdm.subcarrier_spacing_hz).unwrap();
+    let x = smoothed_csi(&s.csi, &cfg).unwrap();
+    c.bench_function("noise_subspace_30x32", |b| {
+        b.iter(|| noise_subspace(&x, &cfg).unwrap())
+    });
+    c.bench_function("music_spectrum_181x251", |b| {
+        b.iter(|| music_spectrum(&x, &cfg).unwrap())
+    });
+    let spec = music_spectrum(&x, &cfg).unwrap();
+    c.bench_function("find_peaks", |b| b.iter(|| find_peaks(&spec, 8)));
+    // The grid-free alternative for comparison.
+    c.bench_function("esprit_paths", |b| {
+        b.iter(|| spotfi_core::esprit::esprit_paths(&x, &cfg).unwrap())
+    });
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    // 200 estimates (~40 packets × 5 paths), 5 clusters.
+    let estimates: Vec<PathEstimate> = (0..200)
+        .map(|i| {
+            let g = (i % 5) as f64;
+            PathEstimate {
+                aoa_deg: g * 30.0 - 60.0 + (i as f64 * 0.37).sin() * 2.0,
+                tof_ns: g * 60.0 + (i as f64 * 0.61).cos() * 5.0,
+                power: 1.0,
+            }
+        })
+        .collect();
+    c.bench_function("cluster_200_estimates_k5", |b| {
+        b.iter(|| cluster_estimates(&estimates, 5, 100))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (array, packets) = test_packets(10);
+    let spotfi = SpotFi::new(SpotFiConfig::default());
+    c.bench_function("analyze_packet_full", |b| {
+        b.iter(|| spotfi.analyze_packet(&packets[0]).unwrap())
+    });
+    let ap = ApPackets {
+        array,
+        packets: packets.clone(),
+    };
+    c.bench_function("analyze_ap_10_packets", |b| {
+        b.iter_batched(|| ap.clone(), |ap| spotfi.analyze_ap(&ap).unwrap(), BatchSize::LargeInput)
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_eigen, bench_sanitize, bench_smoothing, bench_music, bench_cluster, bench_pipeline
+}
+criterion_main!(kernels);

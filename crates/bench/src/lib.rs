@@ -1,0 +1,2 @@
+//! Criterion benchmark crate — see `benches/`. The library target exists
+//! only so the package builds standalone.

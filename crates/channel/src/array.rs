@@ -1,0 +1,185 @@
+//! Uniform linear antenna arrays.
+//!
+//! Each AP carries a ULA of `num_antennas` elements with spacing `spacing`
+//! (half-wavelength by default, matching the paper). The array is described
+//! by its first-antenna position and the direction of its broadside
+//! **normal**; an arriving path's AoA θ is measured from that normal, so
+//! θ = 0 is straight ahead and ±90° along the array axis (paper Fig. 2).
+
+use crate::constants;
+use crate::geometry::{Point, Vec2};
+
+/// A uniform linear antenna array (one per AP).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AntennaArray {
+    /// Position of the first antenna (the array's reference element).
+    pub position: Point,
+    /// Direction of the array normal (radians, CCW from +x). The antenna
+    /// axis is this angle rotated −90°.
+    pub normal_angle: f64,
+    /// Element spacing, meters.
+    pub spacing: f64,
+    /// Number of elements.
+    pub num_antennas: usize,
+}
+
+impl AntennaArray {
+    /// A 3-antenna, half-wavelength-spaced array at `position` facing
+    /// `normal_angle` — the commodity-AP configuration of the paper.
+    pub fn intel5300(position: Point, normal_angle: f64, carrier_hz: f64) -> Self {
+        AntennaArray {
+            position,
+            normal_angle,
+            spacing: constants::half_wavelength_spacing(carrier_hz),
+            num_antennas: constants::INTEL5300_NUM_ANTENNAS,
+        }
+    }
+
+    /// Unit vector of the array normal.
+    pub fn normal(&self) -> Vec2 {
+        Vec2::from_angle(self.normal_angle)
+    }
+
+    /// Unit vector along the antenna axis (antenna index increases this
+    /// way). Chosen so that a positive AoA (source to the left of the
+    /// normal, CCW) produces the paper's phase sign.
+    pub fn axis(&self) -> Vec2 {
+        // Normal rotated -90° (clockwise): axis × normal right-handed.
+        let n = self.normal();
+        Vec2::new(n.y, -n.x)
+    }
+
+    /// Position of the `m`-th antenna (0-based).
+    pub fn antenna_position(&self, m: usize) -> Point {
+        debug_assert!(m < self.num_antennas);
+        self.position + self.axis() * (self.spacing * m as f64)
+    }
+
+    /// The **effective sine of AoA** for a signal whose propagation
+    /// direction (pointing *toward* the array) is `incoming`.
+    ///
+    /// Convention: θ is the CCW angle of the source bearing from the array
+    /// normal, so a source rotated counter-clockwise from broadside has
+    /// positive AoA, and antenna `m` sits `m·d·sin θ` *farther* from the
+    /// source — reproducing the paper's phase `−2π·d·(m−1)·sin θ·f/c`
+    /// (Eq. 1) exactly.
+    ///
+    /// The inter-antenna phase depends only on the projection of the
+    /// propagation direction on the array axis; a ULA cannot distinguish
+    /// front from back, so everything downstream works with `sin θ` or the
+    /// front-hemisphere angle `asin(sin θ) ∈ [−90°, 90°]`.
+    pub fn effective_sin_aoa(&self, incoming: Vec2) -> f64 {
+        let u = incoming.normalized().expect("zero incoming direction");
+        u.dot(self.axis()).clamp(-1.0, 1.0)
+    }
+
+    /// Ground-truth AoA (radians, in `[−π/2, π/2]`) for a signal arriving
+    /// from `source` along the straight line to the array. A source
+    /// coincident with the array (within 1 mm) reports broadside (0) rather
+    /// than panicking — localization grid searches may probe the AP's own
+    /// position.
+    pub fn aoa_from(&self, source: Point) -> f64 {
+        let incoming = self.position - source;
+        if incoming.length() < 1e-3 {
+            return 0.0;
+        }
+        self.effective_sin_aoa(incoming).asin()
+    }
+
+    /// Ground-truth AoA in degrees.
+    pub fn aoa_from_deg(&self, source: Point) -> f64 {
+        self.aoa_from(source).to_degrees()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    fn array_facing_plus_y() -> AntennaArray {
+        // Normal +y ⇒ axis +x.
+        AntennaArray {
+            position: Point::new(0.0, 0.0),
+            normal_angle: FRAC_PI_2,
+            spacing: 0.028,
+            num_antennas: 3,
+        }
+    }
+
+    #[test]
+    fn axis_perpendicular_to_normal() {
+        let a = array_facing_plus_y();
+        assert!(a.axis().dot(a.normal()).abs() < 1e-12);
+        assert!((a.axis().x - 1.0).abs() < 1e-12, "axis {:?}", a.axis());
+    }
+
+    #[test]
+    fn antenna_positions_along_axis() {
+        let a = array_facing_plus_y();
+        let p1 = a.antenna_position(1);
+        assert!((p1.x - 0.028).abs() < 1e-12);
+        assert!(p1.y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadside_source_has_zero_aoa() {
+        let a = array_facing_plus_y();
+        assert!(a.aoa_from(Point::new(0.0, 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ccw_positive_convention() {
+        let a = array_facing_plus_y();
+        // Normal is +y; a source CCW from the normal (toward −x) has
+        // positive AoA, a source CW (toward +x, along the antenna axis) has
+        // negative AoA.
+        let aoa = a.aoa_from_deg(Point::new(100.0, 0.0));
+        assert!((aoa + 90.0).abs() < 1e-6, "aoa {}", aoa);
+        let aoa_pos = a.aoa_from_deg(Point::new(-100.0, 0.0));
+        assert!((aoa_pos - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forty_five_degrees() {
+        let a = array_facing_plus_y();
+        let aoa = a.aoa_from(Point::new(-10.0, 10.0));
+        assert!((aoa - FRAC_PI_4).abs() < 1e-9, "aoa {}", aoa);
+        let aoa_cw = a.aoa_from(Point::new(10.0, 10.0));
+        assert!((aoa_cw + FRAC_PI_4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn positive_aoa_source_is_farther_from_higher_antennas() {
+        // The paper's Fig. 2: for positive AoA, antenna m travels an extra
+        // m·d·sin θ. Verify against exact geometry at long range.
+        let a = array_facing_plus_y();
+        let src = Point::new(-500.0, 500.0); // +45° AoA
+        let d0 = src.distance(a.antenna_position(0));
+        let d1 = src.distance(a.antenna_position(1));
+        let expected_extra = a.spacing * (45.0f64).to_radians().sin();
+        assert!(
+            ((d1 - d0) - expected_extra).abs() < 1e-6,
+            "extra distance {} vs {}",
+            d1 - d0,
+            expected_extra
+        );
+    }
+
+    #[test]
+    fn front_back_ambiguity_mirrors() {
+        let a = array_facing_plus_y();
+        // Source behind the array at the mirrored angle gives the same
+        // effective sin(θ) — the fundamental ULA ambiguity.
+        let front = a.aoa_from(Point::new(5.0, 5.0));
+        let back = a.aoa_from(Point::new(5.0, -5.0));
+        assert!((front - back).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intel5300_defaults() {
+        let a = AntennaArray::intel5300(Point::new(1.0, 2.0), 0.0, constants::DEFAULT_CARRIER_HZ);
+        assert_eq!(a.num_antennas, 3);
+        assert!((a.spacing - 0.02818).abs() < 1e-4, "spacing {}", a.spacing);
+    }
+}

@@ -1,0 +1,78 @@
+//! Randomness helpers for the simulator.
+//!
+//! Everything stochastic in the workspace takes an explicit `Rng` so
+//! experiments are reproducible from a single seed. `rand` (0.8) only ships
+//! uniform sampling; the Gaussian deviates used for noise and shadowing are
+//! generated here with the Box–Muller transform.
+
+use rand::Rng;
+
+/// A standard normal deviate (mean 0, variance 1) via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A normal deviate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// A uniform phase in `[0, 2π)`.
+pub fn uniform_phase<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    rng.gen::<f64>() * 2.0 * std::f64::consts::PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {}", mean);
+        assert!((var - 1.0).abs() < 0.02, "variance {}", var);
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn phases_cover_circle() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut quadrant = [0usize; 4];
+        for _ in 0..4000 {
+            let p = uniform_phase(&mut rng);
+            assert!((0.0..2.0 * std::f64::consts::PI).contains(&p));
+            quadrant[(p / std::f64::consts::FRAC_PI_2) as usize % 4] += 1;
+        }
+        for q in quadrant {
+            assert!(q > 800, "quadrant count {}", q);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

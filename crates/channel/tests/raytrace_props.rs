@@ -1,0 +1,140 @@
+//! Property-based tests of the ray tracer and CSI synthesis: physical
+//! invariants that must hold for arbitrary room geometry and target
+//! placement.
+
+use proptest::prelude::*;
+
+use spotfi_channel::constants::{DEFAULT_CARRIER_HZ, SPEED_OF_LIGHT};
+use spotfi_channel::floorplan::Floorplan;
+use spotfi_channel::materials::Material;
+use spotfi_channel::raytrace::{trace_paths, PathKind, RaytraceConfig};
+use spotfi_channel::{synthesize_csi, AntennaArray, OfdmConfig, Point};
+
+fn ap() -> AntennaArray {
+    AntennaArray::intel5300(
+        Point::new(0.0, 0.0),
+        std::f64::consts::FRAC_PI_2,
+        DEFAULT_CARRIER_HZ,
+    )
+}
+
+fn cfg() -> RaytraceConfig {
+    RaytraceConfig::default_for_wavelength(SPEED_OF_LIGHT / DEFAULT_CARRIER_HZ)
+}
+
+/// A random axis-aligned room around origin + target inside it.
+fn room_and_target() -> impl Strategy<Value = (Floorplan, Point)> {
+    (4.0f64..20.0, 4.0f64..15.0, -0.8f64..0.8, 0.1f64..0.8).prop_map(|(w, h, fx, fy)| {
+        let mut plan = Floorplan::empty();
+        plan.add_rect(-w / 2.0, -1.0, w / 2.0, h, Material::CONCRETE);
+        let target = Point::new(fx * (w / 2.0 - 0.5), 0.5 + fy * (h - 1.5));
+        (plan, target)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The direct path is always the shortest; every ToF is length/c.
+    #[test]
+    fn direct_is_shortest_and_tofs_consistent((plan, target) in room_and_target()) {
+        prop_assume!(target.distance(Point::new(0.0, 0.0)) > 0.3);
+        let paths = trace_paths(&plan, target, &ap(), &cfg());
+        prop_assume!(!paths.is_empty());
+        let direct = paths.iter().find(|p| p.kind == PathKind::Direct);
+        if let Some(d) = direct {
+            for p in &paths {
+                prop_assert!(p.length_m >= d.length_m - 1e-9);
+            }
+            prop_assert!((d.length_m - target.distance(Point::new(0.0, 0.0))).abs() < 1e-9);
+        }
+        for p in &paths {
+            prop_assert!((p.tof_s - p.length_m / SPEED_OF_LIGHT).abs() < 1e-18);
+            prop_assert!(p.sin_aoa.abs() <= 1.0);
+            prop_assert!(p.amplitude > 0.0);
+        }
+    }
+
+    /// First-order reflections obey the image identity: the path length
+    /// equals the straight distance from the mirrored target to the AP.
+    #[test]
+    fn first_order_reflections_obey_image_method((plan, target) in room_and_target()) {
+        prop_assume!(target.distance(Point::new(0.0, 0.0)) > 0.3);
+        let a = ap();
+        let paths = trace_paths(&plan, target, &a, &cfg());
+        for p in &paths {
+            if let PathKind::Reflected { walls } = &p.kind {
+                if walls.len() == 1 {
+                    let wall = plan.walls()[walls[0]].segment;
+                    let image = wall.mirror(target);
+                    prop_assert!(
+                        (image.distance(a.position) - p.length_m).abs() < 1e-6,
+                        "image identity violated: {} vs {}",
+                        image.distance(a.position),
+                        p.length_m
+                    );
+                    // The bounce point lies on the wall segment.
+                    let b = p.vertices[1];
+                    let along = (b - wall.a).dot(wall.direction().unwrap());
+                    prop_assert!(along >= -1e-6 && along <= wall.length() + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Adding an obstacle can only attenuate the direct path.
+    #[test]
+    fn obstacles_only_attenuate((plan, target) in room_and_target(), wx in -0.5f64..0.5) {
+        prop_assume!(target.distance(Point::new(0.0, 0.0)) > 2.0);
+        let a = ap();
+        let free = trace_paths(&Floorplan::empty(), target, &a, &cfg());
+        prop_assume!(!free.is_empty());
+
+        // Put a wall crossing the midpoint of the direct path.
+        let mid = target.midpoint(a.position);
+        let mut blocked_plan = plan.clone();
+        blocked_plan.add_wall(
+            Point::new(mid.x - 1.0 + wx, mid.y - 1.0),
+            Point::new(mid.x + 1.0 + wx, mid.y + 1.0),
+            Material::CONCRETE,
+        );
+        let blocked = trace_paths(&blocked_plan, target, &a, &cfg());
+        let free_direct = free.iter().find(|p| p.kind == PathKind::Direct).unwrap();
+        if let Some(bd) = blocked.iter().find(|p| p.kind == PathKind::Direct) {
+            prop_assert!(bd.amplitude <= free_direct.amplitude + 1e-12);
+        }
+    }
+
+    /// CSI synthesis obeys the triangle inequality: no entry exceeds the
+    /// sum of path amplitudes, and with one path every entry equals it.
+    #[test]
+    fn csi_amplitude_bounds((plan, target) in room_and_target()) {
+        prop_assume!(target.distance(Point::new(0.0, 0.0)) > 0.3);
+        let a = ap();
+        let ofdm = OfdmConfig::intel5300_40mhz();
+        let paths = trace_paths(&plan, target, &a, &cfg());
+        prop_assume!(!paths.is_empty());
+        let h = synthesize_csi(&paths, &a, &ofdm);
+        let total: f64 = paths.iter().map(|p| p.amplitude).sum();
+        for z in h.as_slice() {
+            prop_assert!(z.abs() <= total * (1.0 + 1e-9));
+        }
+        let single = synthesize_csi(&paths[..1], &a, &ofdm);
+        for z in single.as_slice() {
+            prop_assert!((z.abs() - paths[0].amplitude).abs() < 1e-9 * paths[0].amplitude);
+        }
+    }
+
+    /// Paths are returned sorted by amplitude and capped by config.
+    #[test]
+    fn ordering_and_caps((plan, target) in room_and_target(), max_paths in 1usize..6) {
+        prop_assume!(target.distance(Point::new(0.0, 0.0)) > 0.3);
+        let mut c = cfg();
+        c.max_paths = max_paths;
+        let paths = trace_paths(&plan, target, &ap(), &c);
+        prop_assert!(paths.len() <= max_paths);
+        for w in paths.windows(2) {
+            prop_assert!(w[0].amplitude >= w[1].amplitude);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal argument parsing: `--key value` / `--flag` options plus
+//! positional arguments, with typed accessors and unknown-option
+//! detection. Hand-rolled to keep the workspace's dependency set at the
+//! approved list.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, Vec<String>>,
+    flags: Vec<String>,
+}
+
+/// Argument errors, rendered to the user verbatim.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Args {
+    /// Parses raw arguments. `value_options` lists the `--key` names that
+    /// consume a value; every other `--name` is a boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        value_options: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                // `--key=value` form.
+                if let Some((k, v)) = name.split_once('=') {
+                    if !value_options.contains(&k) {
+                        return Err(ArgError(format!("option --{} does not take a value", k)));
+                    }
+                    out.options.entry(k.to_string()).or_default().push(v.to_string());
+                } else if value_options.contains(&name) {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{} needs a value", name)))?;
+                    out.options.entry(name.to_string()).or_default().push(v);
+                } else {
+                    out.flags.push(name.to_string());
+                }
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument by index.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Last value of `--name`, if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.options.get(name).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// Parsed value of `--name`.
+    pub fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| ArgError(format!("invalid value for --{}: {}", name, v))),
+        }
+    }
+
+    /// `true` if `--name` was given as a flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Errors on flags not in the allowed list (catches typos).
+    pub fn reject_unknown_flags(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for f in &self.flags {
+            if !allowed.contains(&f.as_str()) {
+                return Err(ArgError(format!("unknown option --{}", f)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses an `x,y` pair.
+    pub fn point(&self, name: &str) -> Result<Option<(f64, f64)>, ArgError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => {
+                let mut it = v.split(',');
+                let bad = || ArgError(format!("--{} expects x,y — got {}", name, v));
+                let x: f64 = it.next().ok_or_else(bad)?.trim().parse().map_err(|_| bad())?;
+                let y: f64 = it.next().ok_or_else(bad)?.trim().parse().map_err(|_| bad())?;
+                if it.next().is_some() {
+                    return Err(bad());
+                }
+                Ok(Some((x, y)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str], vals: &[&str]) -> Args {
+        Args::parse(args.iter().map(|s| s.to_string()), vals).unwrap()
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = parse(&["analyze", "file.dat", "--packets", "20", "--fast"], &["packets"]);
+        assert_eq!(a.positional(0), Some("analyze"));
+        assert_eq!(a.positional(1), Some("file.dat"));
+        assert_eq!(a.positional(2), None);
+        assert_eq!(a.value("packets"), Some("20"));
+        assert_eq!(a.parsed::<usize>("packets").unwrap(), Some(20));
+        assert!(a.flag("fast"));
+        assert!(!a.flag("slow"));
+    }
+
+    #[test]
+    fn equals_form() {
+        let a = parse(&["--seed=42"], &["seed"]);
+        assert_eq!(a.parsed::<u64>("seed").unwrap(), Some(42));
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        let e = Args::parse(["--packets".to_string()].into_iter(), &["packets"]).unwrap_err();
+        assert!(e.0.contains("needs a value"));
+    }
+
+    #[test]
+    fn value_on_flag_is_error() {
+        let e = Args::parse(["--fast=yes".to_string()].into_iter(), &[]).unwrap_err();
+        assert!(e.0.contains("does not take a value"));
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let a = parse(&["--verbose"], &[]);
+        assert!(a.reject_unknown_flags(&["fast"]).is_err());
+        assert!(a.reject_unknown_flags(&["verbose"]).is_ok());
+    }
+
+    #[test]
+    fn point_parsing() {
+        let a = parse(&["--target", "3.5, 7.25"], &["target"]);
+        assert_eq!(a.point("target").unwrap(), Some((3.5, 7.25)));
+        let bad = parse(&["--target", "3.5"], &["target"]);
+        assert!(bad.point("target").is_err());
+        let tri = parse(&["--target", "1,2,3"], &["target"]);
+        assert!(tri.point("target").is_err());
+    }
+
+    #[test]
+    fn bad_typed_value() {
+        let a = parse(&["--packets", "lots"], &["packets"]);
+        assert!(a.parsed::<usize>("packets").is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! `spotfi` — command-line interface to the SpotFi reproduction.
+//!
+//! ```text
+//! spotfi figures [fig5|fig7|fig8|fig9|ablation|all] [--fast]
+//! spotfi simulate --out capture.dat [--target x,y] [--packets N] [--seed S]
+//! spotfi analyze capture.dat [--ap x,y] [--normal deg]
+//! spotfi scenario [office|nlos|corridor] [--targets N] [--packets N]
+//! spotfi help
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{ArgError, Args};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spotfi_channel::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+use spotfi_core::{ApPackets, SpotFi, SpotFiConfig};
+use spotfi_io::{from_csi_packet, read_dat_file, to_csi_packets, write_dat_file};
+use spotfi_testbed::deployment::Deployment;
+use spotfi_testbed::experiments::{ablation, fig5, fig7, fig8, fig9, through_wall, tracking, ExperimentOptions};
+use spotfi_testbed::runner::{Runner, RunnerConfig};
+use spotfi_testbed::scenario::Scenario;
+
+const HELP: &str = "\
+spotfi — decimeter-level WiFi localization (SpotFi, SIGCOMM 2015)
+
+USAGE:
+  spotfi figures [fig5|fig7|fig8|fig9|ablation|through-wall|tracking|all] [--fast]
+      Regenerate the paper's evaluation figures on the simulated testbed.
+
+  spotfi simulate --out <capture.dat> [--target x,y] [--packets N] [--seed S]
+      Simulate a capture and write it in Linux 802.11n CSI Tool format.
+
+  spotfi analyze <capture.dat> [--ap x,y] [--normal <deg>]
+      Parse a CSI Tool trace and run SpotFi's per-AP analysis
+      (AP position/orientation default to the origin facing +y).
+
+  spotfi scenario [office|nlos|corridor] [--targets N] [--packets N]
+      Run a full localization scenario (SpotFi vs ArrayTrack) and print
+      the error table.
+
+  spotfi help
+      Show this message.
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e);
+            eprintln!("run `spotfi help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), ArgError> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(
+        raw,
+        &["out", "target", "packets", "seed", "ap", "normal", "targets"],
+    )?;
+    match args.positional(0).unwrap_or("help") {
+        "figures" => cmd_figures(&args),
+        "simulate" => cmd_simulate(&args),
+        "analyze" => cmd_analyze(&args),
+        "scenario" => cmd_scenario(&args),
+        "help" | "--help" | "-h" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown command: {}", other))),
+    }
+}
+
+fn cmd_figures(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown_flags(&["fast"])?;
+    let which = args.positional(1).unwrap_or("all");
+    let opts = if args.flag("fast") {
+        ExperimentOptions::fast_test()
+    } else {
+        ExperimentOptions::default()
+    };
+    let all = which == "all";
+    if all || which == "fig5" {
+        println!("{}", fig5::render(&fig5::run(&opts)));
+    }
+    if all || which == "fig7" {
+        for panel in [fig7::Panel::Office, fig7::Panel::Nlos, fig7::Panel::Corridor] {
+            println!("{}", fig7::render(&fig7::run(panel, &opts)));
+        }
+    }
+    if all || which == "fig8" {
+        println!("{}", fig8::render(&fig8::run(&opts)));
+    }
+    if all || which == "fig9" {
+        println!("{}", fig9::render_density(&fig9::run_density(&opts)));
+        println!("{}", fig9::render_packets(&fig9::run_packets(&opts)));
+    }
+    if all || which == "ablation" {
+        println!("{}", ablation::render_channel(&ablation::run_channel_ablation(&opts)));
+        println!("{}", ablation::render_algorithm(&ablation::run_algorithm_ablation(&opts)));
+    }
+    if all || which == "through-wall" {
+        println!("{}", through_wall::render(&through_wall::run(&opts)));
+    }
+    if all || which == "tracking" {
+        println!("{}", tracking::render(&tracking::run(&opts)));
+    }
+    if !all && !["fig5", "fig7", "fig8", "fig9", "ablation", "through-wall", "tracking"].contains(&which) {
+        return Err(ArgError(format!("unknown figure: {}", which)));
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown_flags(&[])?;
+    let out = args
+        .value("out")
+        .ok_or_else(|| ArgError("simulate needs --out <file.dat>".into()))?;
+    let (tx, ty) = args.point("target")?.unwrap_or((-3.0, 6.0));
+    let packets: usize = args.parsed("packets")?.unwrap_or(20);
+    let seed: u64 = args.parsed("seed")?.unwrap_or(2015);
+
+    let array = default_array(args)?;
+    let plan = Floorplan::empty();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = PacketTrace::generate(
+        &plan,
+        Point::new(tx, ty),
+        &array,
+        &TraceConfig::commodity(),
+        packets,
+        &mut rng,
+    )
+    .ok_or_else(|| ArgError("target is inaudible from the AP".into()))?;
+
+    let records: Vec<_> = trace
+        .packets
+        .iter()
+        .enumerate()
+        .map(|(i, p)| from_csi_packet(p, i as u16, 30))
+        .collect();
+    write_dat_file(out, &records).map_err(|e| ArgError(format!("writing {}: {}", out, e)))?;
+    println!(
+        "wrote {} records to {} (truth AoA {:.1}°, mean RSSI {:.1} dBm)",
+        records.len(),
+        out,
+        array.aoa_from_deg(Point::new(tx, ty)),
+        trace.packets.iter().map(|p| p.rssi_dbm).sum::<f64>() / trace.packets.len() as f64,
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown_flags(&[])?;
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("analyze needs a capture file".into()))?;
+    let records =
+        read_dat_file(path).map_err(|e| ArgError(format!("reading {}: {}", path, e)))?;
+    println!("parsed {} beamforming records from {}", records.len(), path);
+    if records.is_empty() {
+        return Ok(());
+    }
+    let array = default_array(args)?;
+    let packets = to_csi_packets(&records);
+    let spotfi = SpotFi::new(SpotFiConfig::default());
+    let analysis = spotfi
+        .analyze_ap(&ApPackets { array, packets })
+        .map_err(|e| ArgError(format!("analysis failed: {}", e)))?;
+
+    println!("\n{:>8} {:>9} {:>6} {:>7} {:>7}", "AoA(°)", "ToF(ns)", "n", "σθ(°)", "στ(ns)");
+    for c in &analysis.clustering.clusters {
+        println!(
+            "{:>8.1} {:>9.1} {:>6} {:>7.2} {:>7.2}",
+            c.mean_aoa_deg, c.mean_tof_ns, c.count, c.aoa_std_deg, c.tof_std_ns
+        );
+    }
+    match analysis.direct {
+        Some(d) => println!(
+            "\ndirect path: AoA {:.1}° (likelihood {:.3}); mean RSSI {:.1} dBm",
+            d.aoa_deg, d.likelihood, analysis.mean_rssi_dbm
+        ),
+        None => println!("\nno direct path identified"),
+    }
+    Ok(())
+}
+
+fn cmd_scenario(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown_flags(&[])?;
+    let deployment = Deployment::standard();
+    let mut scenario = match args.positional(1).unwrap_or("office") {
+        "office" => Scenario::office(&deployment),
+        "nlos" => Scenario::nlos(&deployment),
+        "corridor" => Scenario::corridor(&deployment),
+        other => return Err(ArgError(format!("unknown scenario: {}", other))),
+    };
+    if let Some(n) = args.parsed::<usize>("targets")? {
+        scenario.targets.truncate(n);
+    }
+    if let Some(p) = args.parsed::<usize>("packets")? {
+        scenario.packets_per_fix = p;
+    }
+    println!(
+        "scenario '{}': {} targets, {} APs, {} packets/fix",
+        scenario.name,
+        scenario.targets.len(),
+        scenario.aps.len(),
+        scenario.packets_per_fix
+    );
+    let runner = Runner::new(scenario, RunnerConfig::default());
+    let records = runner.run_localization();
+    println!("\n{:<12} {:>8} {:>12} {:>7}", "target", "spotfi", "arraytrack", "heard");
+    let mut spotfi_errs = Vec::new();
+    let mut at_errs = Vec::new();
+    for r in &records {
+        println!(
+            "{:<12} {:>8} {:>12} {:>7}",
+            r.target_name,
+            fmt_err(r.spotfi_error_m),
+            fmt_err(r.arraytrack_error_m),
+            r.heard_by
+        );
+        if let Some(e) = r.spotfi_error_m {
+            spotfi_errs.push(e);
+        }
+        if let Some(e) = r.arraytrack_error_m {
+            at_errs.push(e);
+        }
+    }
+    if !spotfi_errs.is_empty() {
+        println!(
+            "\nmedians: spotfi {:.2} m, arraytrack {:.2} m",
+            spotfi_math::stats::median(&spotfi_errs),
+            spotfi_math::stats::median(&at_errs),
+        );
+    }
+    Ok(())
+}
+
+fn fmt_err(e: Option<f64>) -> String {
+    match e {
+        Some(v) => format!("{:.2} m", v),
+        None => "—".to_string(),
+    }
+}
+
+/// AP geometry from `--ap x,y` and `--normal deg` (defaults: origin,
+/// facing +y).
+fn default_array(args: &Args) -> Result<AntennaArray, ArgError> {
+    let (x, y) = args.point("ap")?.unwrap_or((0.0, 0.0));
+    let normal_deg: f64 = args.parsed("normal")?.unwrap_or(90.0);
+    Ok(AntennaArray::intel5300(
+        Point::new(x, y),
+        normal_deg.to_radians(),
+        spotfi_channel::constants::DEFAULT_CARRIER_HZ,
+    ))
+}

@@ -1,0 +1,97 @@
+//! End-to-end tests of the `spotfi` binary, driven through
+//! `std::process::Command` on the built executable.
+
+use std::process::{Command, Output};
+
+fn spotfi(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spotfi"))
+        .args(args)
+        .output()
+        .expect("spawn spotfi")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn help_lists_all_commands() {
+    for args in [vec!["help"], vec![]] {
+        let out = spotfi(&args);
+        assert!(out.status.success());
+        let text = stdout(&out);
+        for cmd in ["figures", "simulate", "analyze", "scenario"] {
+            assert!(text.contains(cmd), "help missing `{}`", cmd);
+        }
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_hint() {
+    let out = spotfi(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("spotfi help"));
+}
+
+#[test]
+fn simulate_then_analyze_roundtrip() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("spotfi_cli_test.dat");
+    let path_str = path.to_str().unwrap();
+
+    let sim = spotfi(&[
+        "simulate", "--out", path_str, "--target", "-2,5", "--packets", "8", "--seed", "5",
+    ]);
+    assert!(sim.status.success(), "simulate failed: {}", stderr(&sim));
+    assert!(stdout(&sim).contains("wrote 8 records"));
+
+    let ana = spotfi(&["analyze", path_str]);
+    std::fs::remove_file(&path).ok();
+    assert!(ana.status.success(), "analyze failed: {}", stderr(&ana));
+    let text = stdout(&ana);
+    assert!(text.contains("parsed 8 beamforming records"));
+    assert!(text.contains("direct path"), "no direct path in:\n{}", text);
+}
+
+#[test]
+fn analyze_missing_file_errors() {
+    let out = spotfi(&["analyze", "/nonexistent/never.dat"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("reading"));
+}
+
+#[test]
+fn simulate_requires_out() {
+    let out = spotfi(&["simulate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--out"));
+}
+
+#[test]
+fn bad_point_value_reports_nicely() {
+    let out = spotfi(&["simulate", "--out", "/tmp/x.dat", "--target", "oops"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("expects x,y"));
+}
+
+#[test]
+fn scenario_runs_trimmed() {
+    let out = spotfi(&["scenario", "office", "--targets", "2", "--packets", "6"]);
+    assert!(out.status.success(), "scenario failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("office-01"));
+    assert!(text.contains("medians"));
+}
+
+#[test]
+fn figures_rejects_unknown_figure() {
+    let out = spotfi(&["figures", "fig99", "--fast"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown figure"));
+}

@@ -1,0 +1,221 @@
+//! Joint AoA/ToF **ESPRIT**: the shift-invariance alternative to MUSIC.
+//!
+//! The paper's super-resolution family (Sec. 2's refs [42, 43] — Van der
+//! Veen & Paulraj's JADE line) contains two classic algorithms: spectral
+//! MUSIC (Algorithm 2's choice, a grid search) and ESPRIT, which reads the
+//! parameters *algebraically* from the signal subspace, no grid at all.
+//! Both work on exactly the same smoothed measurement matrix (Fig. 4), so
+//! this module slots into the pipeline as a drop-in estimator
+//! ([`crate::config::Estimator`]) and the ablation bench compares them.
+//!
+//! ### How it works
+//!
+//! The smoothed array's steering vectors have the Vandermonde structure
+//! `a(θ, τ)[(m, n)] = Φ^m·Ω^n`. Consider the row-selection matrices that
+//! drop the last subcarrier (`J₁`) or the first (`J₂`) in every antenna
+//! block: `J₂·a = Ω·J₁·a` — a *shift invariance*. Since the signal
+//! subspace `E_s` spans the steering vectors, there is an L×L rotation
+//! `Ψ_τ = (J₁E_s)⁺(J₂E_s)` whose eigenvalues are exactly the `Ω(τ_k)`.
+//! The same construction across the antenna blocks yields `Ψ_θ` with
+//! eigenvalues `Φ(θ_k)`; because both rotations share the signal
+//! subspace's eigenbasis `T` (from `Ψ_τ`), evaluating `T⁻¹·Ψ_θ·T` pairs
+//! each τ with its θ for free.
+
+use spotfi_channel::constants::SPEED_OF_LIGHT;
+use spotfi_math::eigen::hermitian_eigen;
+use spotfi_math::eigen_general::general_eigen;
+use spotfi_math::linsolve::{lstsq, solve};
+use spotfi_math::CMat;
+
+use crate::config::SpotFiConfig;
+use crate::error::{Result, SpotFiError};
+use crate::peaks::PathEstimate;
+
+/// Estimates path parameters from a smoothed CSI matrix with joint ESPRIT.
+///
+/// Returns up to `max_paths` estimates sorted by descending subspace
+/// eigenvalue (a proxy for path power). ToFs carry the same arbitrary
+/// per-packet offset as MUSIC's (the STO residue) and live in
+/// `(−1/(2f_δ), 1/(2f_δ)]`, i.e. ±400 ns on the Intel grid.
+pub fn esprit_paths(smoothed: &CMat, cfg: &SpotFiConfig) -> Result<Vec<PathEstimate>> {
+    let ms = cfg.smoothing.sub_antennas;
+    let ns = cfg.smoothing.sub_subcarriers;
+    debug_assert_eq!(smoothed.rows(), ms * ns);
+    if ms < 2 || ns < 2 {
+        return Err(SpotFiError::DegenerateCsi);
+    }
+
+    // Signal subspace from the smoothed covariance.
+    let r = smoothed.mul_hermitian_self();
+    if !r.as_slice().iter().all(|z| z.is_finite()) {
+        return Err(SpotFiError::DegenerateCsi);
+    }
+    let eig = hermitian_eigen(&r);
+    let lmax = eig.values[0].max(0.0);
+    if lmax <= 0.0 {
+        return Err(SpotFiError::DegenerateCsi);
+    }
+    let threshold = cfg.music.noise_threshold_ratio * lmax;
+    let by_threshold = eig.values.iter().filter(|&&l| l >= threshold).count();
+    // The subcarrier invariance needs L ≤ ms·(ns−1); antennas need
+    // L ≤ (ms−1)·ns. Both are generous here (28 / 15).
+    let l = by_threshold
+        .min(cfg.music.max_paths)
+        .min(ms * (ns - 1))
+        .min((ms - 1) * ns)
+        .max(1);
+    let es = CMat::from_fn(ms * ns, l, |r_, c| eig.vectors[(r_, c)]);
+
+    // ── ToF invariance across subcarriers ───────────────────────────────
+    let rows_lo: Vec<usize> = (0..ms)
+        .flat_map(|m| (0..ns - 1).map(move |n| m * ns + n))
+        .collect();
+    let rows_hi: Vec<usize> = (0..ms)
+        .flat_map(|m| (1..ns).map(move |n| m * ns + n))
+        .collect();
+    let all_cols: Vec<usize> = (0..l).collect();
+    let e1 = es.select(&rows_lo, &all_cols);
+    let e2 = es.select(&rows_hi, &all_cols);
+    let psi_tau = lstsq(&e1, &e2).ok_or(SpotFiError::DegenerateCsi)?;
+    let (omegas, t) = general_eigen(&psi_tau).ok_or(SpotFiError::DegenerateCsi)?;
+
+    // ── AoA invariance across antennas, paired through T ────────────────
+    let rows_a1: Vec<usize> = (0..ms - 1).flat_map(|m| (0..ns).map(move |n| m * ns + n)).collect();
+    let rows_a2: Vec<usize> = (1..ms).flat_map(|m| (0..ns).map(move |n| m * ns + n)).collect();
+    let f1 = es.select(&rows_a1, &all_cols);
+    let f2 = es.select(&rows_a2, &all_cols);
+    let psi_theta = lstsq(&f1, &f2).ok_or(SpotFiError::DegenerateCsi)?;
+    // D = T⁻¹·Ψ_θ·T; its diagonal pairs Φ_k with Ω_k.
+    let d = solve(&t, &psi_theta.mul(&t)).ok_or(SpotFiError::DegenerateCsi)?;
+
+    let spacing = spotfi_channel::constants::half_wavelength_spacing(cfg.ofdm.carrier_hz);
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut out: Vec<PathEstimate> = (0..l)
+        .map(|k| {
+            // Ω = e^{−j2π f_δ τ} ⇒ τ = −arg(Ω)/(2π f_δ).
+            let tof_s = -omegas[k].arg() / (two_pi * cfg.ofdm.subcarrier_spacing_hz);
+            // Φ = e^{−j2π d sinθ f/c} ⇒ sinθ = −arg(Φ)·c/(2π d f).
+            let phi = d[(k, k)];
+            let sin_theta = (-phi.arg() * SPEED_OF_LIGHT
+                / (two_pi * spacing * cfg.ofdm.carrier_hz))
+                .clamp(-1.0, 1.0);
+            PathEstimate {
+                aoa_deg: sin_theta.asin().to_degrees(),
+                tof_ns: tof_s * 1e9,
+                // Power proxy: the k-th signal eigenvalue (paths come out
+                // in no particular order, but the subspace energy ranks
+                // them usefully for downstream consumers).
+                power: eig.values[k.min(eig.values.len() - 1)].max(0.0),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.power.partial_cmp(&a.power).unwrap());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smoothing::smoothed_csi;
+    use crate::steering::steering_vector;
+    use spotfi_channel::constants::{DEFAULT_CARRIER_HZ, INTEL5300_SUBCARRIER_SPACING_HZ};
+    use spotfi_math::c64;
+
+    fn cfg() -> SpotFiConfig {
+        SpotFiConfig::default()
+    }
+
+    fn csi_for_paths(paths: &[(f64, f64, c64)]) -> CMat {
+        let spacing = spotfi_channel::constants::half_wavelength_spacing(DEFAULT_CARRIER_HZ);
+        let mut csi = CMat::zeros(3, 30);
+        for &(aoa_deg, tof_ns, gain) in paths {
+            let v = steering_vector(
+                aoa_deg.to_radians().sin(),
+                tof_ns * 1e-9,
+                3,
+                30,
+                spacing,
+                DEFAULT_CARRIER_HZ,
+                INTEL5300_SUBCARRIER_SPACING_HZ,
+            );
+            for m in 0..3 {
+                for n in 0..30 {
+                    csi[(m, n)] += v[m * 30 + n] * gain;
+                }
+            }
+        }
+        csi
+    }
+
+    #[test]
+    fn single_path_exact() {
+        let c = cfg();
+        let csi = csi_for_paths(&[(25.0, 80.0, c64::ONE)]);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let est = esprit_paths(&x, &c).unwrap();
+        assert_eq!(est.len(), 1);
+        // Grid-free: ESPRIT should be essentially exact on clean data.
+        assert!((est[0].aoa_deg - 25.0).abs() < 0.01, "aoa {}", est[0].aoa_deg);
+        assert!((est[0].tof_ns - 80.0).abs() < 0.05, "tof {}", est[0].tof_ns);
+    }
+
+    #[test]
+    fn three_paths_resolved_and_paired() {
+        let c = cfg();
+        let truth = [
+            (-40.0, 25.0, c64::ONE),
+            (10.0, 110.0, c64::new(0.0, 0.8)),
+            (50.0, 220.0, c64::new(-0.5, 0.3)),
+        ];
+        let csi = csi_for_paths(&truth);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let est = esprit_paths(&x, &c).unwrap();
+        assert_eq!(est.len(), 3);
+        // Pairing matters: each (aoa, tof) must match one truth pair.
+        for &(aoa, tof, _) in &truth {
+            let hit = est
+                .iter()
+                .any(|e| (e.aoa_deg - aoa).abs() < 0.5 && (e.tof_ns - tof).abs() < 1.0);
+            assert!(hit, "pair ({}, {}) not found in {:?}", aoa, tof, est);
+        }
+    }
+
+    #[test]
+    fn noisy_paths_still_close() {
+        let c = cfg();
+        let mut csi = csi_for_paths(&[(-20.0, 60.0, c64::ONE), (35.0, 140.0, c64::new(0.6, 0.2))]);
+        // Deterministic pseudo-noise at ~20 dB SNR.
+        for n in 0..30 {
+            for m in 0..3 {
+                let ph = (m * 97 + n * 31) as f64;
+                csi[(m, n)] += c64::from_polar(0.1, ph);
+            }
+        }
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let est = esprit_paths(&x, &c).unwrap();
+        for &(aoa, tof) in &[(-20.0, 60.0), (35.0, 140.0)] {
+            let best = est
+                .iter()
+                .map(|e| (e.aoa_deg - aoa).abs() + (e.tof_ns - tof).abs() / 10.0)
+                .fold(f64::MAX, f64::min);
+            assert!(best < 6.0, "path ({}, {}) badly estimated: {:?}", aoa, tof, est);
+        }
+    }
+
+    #[test]
+    fn zero_input_rejected() {
+        let c = cfg();
+        assert!(esprit_paths(&CMat::zeros(30, 32), &c).is_err());
+    }
+
+    #[test]
+    fn estimates_sorted_by_power() {
+        let c = cfg();
+        let csi = csi_for_paths(&[(0.0, 50.0, c64::ONE), (40.0, 150.0, c64::real(0.3))]);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let est = esprit_paths(&x, &c).unwrap();
+        for w in est.windows(2) {
+            assert!(w[0].power >= w[1].power);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Direct-path likelihood assignment (paper Eq. 8).
+//!
+//! For each cluster `k` SpotFi computes
+//!
+//! ```text
+//! likelihood_k = exp(w_C·C̄_k − w_θ·σ̄_θk − w_τ·σ̄_τk − w_s·τ̄_k)
+//! ```
+//!
+//! rewarding clusters with many members (real paths produce estimates in
+//! every packet), penalizing AoA/ToF spread (the direct path is stable,
+//! Fig. 5c) and penalizing large mean ToF (the direct path is shortest).
+//! All terms are evaluated in the normalized space produced by clustering so
+//! the weights are scale-free; `C̄` is the member *fraction* for the same
+//! reason.
+
+use crate::cluster::Clustering;
+use crate::config::LikelihoodWeights;
+
+/// A cluster scored as a direct-path candidate.
+#[derive(Clone, Debug)]
+pub struct ScoredCluster {
+    /// Index into `Clustering::clusters`.
+    pub cluster_index: usize,
+    /// Cluster mean AoA, degrees.
+    pub aoa_deg: f64,
+    /// Cluster mean relative ToF, nanoseconds.
+    pub tof_ns: f64,
+    /// Eq. 8 likelihood (unnormalized, positive).
+    pub likelihood: f64,
+}
+
+/// The selected direct path for one AP.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectPath {
+    /// Direct-path AoA estimate, degrees.
+    pub aoa_deg: f64,
+    /// Its relative ToF, nanoseconds.
+    pub tof_ns: f64,
+    /// Likelihood weight used later by the localization objective (Eq. 9).
+    pub likelihood: f64,
+}
+
+/// Scores every cluster with Eq. 8, highest likelihood first.
+pub fn score_clusters(clustering: &Clustering, w: &LikelihoodWeights) -> Vec<ScoredCluster> {
+    let total: usize = clustering.clusters.iter().map(|c| c.count).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    // Mean ToF is referenced to the AP's earliest candidate cluster: the
+    // per-packet STO has been sanitized away, but the per-AP ToF origin is
+    // still arbitrary, so only ToF *differences* are meaningful.
+    let tof_origin = clustering
+        .clusters
+        .iter()
+        .filter(|c| c.count as f64 / total as f64 >= w.min_fraction)
+        .map(|c| c.mean_tof_ns)
+        .fold(f64::INFINITY, f64::min);
+    let tof_origin = if tof_origin.is_finite() {
+        tof_origin
+    } else {
+        clustering
+            .clusters
+            .iter()
+            .map(|c| c.mean_tof_ns)
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let mut scored: Vec<ScoredCluster> = clustering
+        .clusters
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            // Sporadic clusters (sidelobe flukes) are not candidates; keep
+            // the strict filter only when some cluster does pass it.
+            c.count as f64 / total as f64 >= w.min_fraction
+        })
+        .map(|(i, c)| {
+            let fraction = c.count as f64 / total as f64;
+            // Fixed physical scales keep likelihoods comparable across APs
+            // (terms capped so exp() stays finite).
+            let exponent = w.cluster_size * fraction
+                - w.aoa_spread * (c.aoa_std_deg / w.aoa_scale_deg).min(10.0)
+                - w.tof_spread * (c.tof_std_ns / w.tof_scale_ns).min(10.0)
+                - w.tof_mean
+                    * ((c.mean_tof_ns - tof_origin) / (2.0 * w.tof_scale_ns)).min(10.0);
+            ScoredCluster {
+                cluster_index: i,
+                aoa_deg: c.mean_aoa_deg,
+                tof_ns: c.mean_tof_ns,
+                likelihood: exponent.exp(),
+            }
+        })
+        .collect();
+    if scored.is_empty() {
+        // All clusters were sporadic (very few packets): fall back to
+        // scoring everything rather than failing the AP outright.
+        let relaxed = LikelihoodWeights {
+            min_fraction: 0.0,
+            ..*w
+        };
+        return score_clusters(clustering, &relaxed);
+    }
+    scored.sort_by(|a, b| b.likelihood.partial_cmp(&a.likelihood).unwrap());
+    scored
+}
+
+/// Picks the direct path: the highest-likelihood cluster (Algorithm 2,
+/// step 10). Returns `None` when there are no clusters.
+pub fn select_direct_path(clustering: &Clustering, w: &LikelihoodWeights) -> Option<DirectPath> {
+    let scored = score_clusters(clustering, w);
+    scored.first().map(|s| DirectPath {
+        aoa_deg: s.aoa_deg,
+        tof_ns: s.tof_ns,
+        likelihood: s.likelihood,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::cluster_estimates;
+    use crate::peaks::PathEstimate;
+
+    fn est(aoa: f64, tof: f64) -> PathEstimate {
+        PathEstimate {
+            aoa_deg: aoa,
+            tof_ns: tof,
+            power: 1.0,
+        }
+    }
+
+    /// A tight, low-ToF "direct" blob plus a loose, high-ToF "reflection".
+    fn direct_and_reflection() -> Vec<PathEstimate> {
+        let mut v = Vec::new();
+        for i in 0..20 {
+            let j = (i as f64 - 10.0) * 0.02;
+            v.push(est(-20.0 + j, 30.0 + j * 5.0));
+        }
+        for i in 0..20 {
+            let j = (i as f64 - 10.0) * 0.8;
+            v.push(est(40.0 + j, 180.0 + j * 4.0));
+        }
+        v
+    }
+
+    #[test]
+    fn direct_path_wins() {
+        let c = cluster_estimates(&direct_and_reflection(), 2, 100);
+        let w = LikelihoodWeights::default();
+        let d = select_direct_path(&c, &w).unwrap();
+        assert!(
+            (d.aoa_deg + 20.0).abs() < 2.0,
+            "selected {:?} instead of the tight low-ToF cluster",
+            d
+        );
+    }
+
+    #[test]
+    fn scores_are_sorted_and_positive() {
+        let c = cluster_estimates(&direct_and_reflection(), 2, 100);
+        let scored = score_clusters(&c, &LikelihoodWeights::default());
+        assert_eq!(scored.len(), 2);
+        assert!(scored[0].likelihood >= scored[1].likelihood);
+        for s in &scored {
+            assert!(s.likelihood > 0.0);
+        }
+    }
+
+    #[test]
+    fn tof_mean_term_breaks_tie_between_equally_tight_clusters() {
+        // Two equally tight clusters; only the ToF differs — the earlier
+        // one must win (the paper's "higher ToF ⇒ lower likelihood").
+        let mut v = Vec::new();
+        for i in 0..10 {
+            let j = (i as f64 - 5.0) * 0.02;
+            v.push(est(-30.0 + j, 40.0 + j));
+            v.push(est(35.0 + j, 200.0 + j));
+        }
+        let c = cluster_estimates(&v, 2, 100);
+        let d = select_direct_path(&c, &LikelihoodWeights::default()).unwrap();
+        assert!((d.aoa_deg + 30.0).abs() < 2.0, "selected {:?}", d);
+    }
+
+    #[test]
+    fn size_term_prefers_populated_clusters() {
+        // A tiny spurious tight cluster at low ToF vs a real path cluster
+        // with many members at slightly higher ToF: with a strong size
+        // weight the populated one should win.
+        let mut v = Vec::new();
+        v.push(est(70.0, 10.0));
+        v.push(est(70.1, 10.1));
+        for i in 0..40 {
+            let j = (i as f64 - 20.0) * 0.02;
+            v.push(est(-10.0 + j, 60.0 + j));
+        }
+        let c = cluster_estimates(&v, 2, 100);
+        let w = LikelihoodWeights {
+            cluster_size: 10.0,
+            tof_mean: 0.5,
+            ..LikelihoodWeights::default()
+        };
+        let d = select_direct_path(&c, &w).unwrap();
+        assert!((d.aoa_deg + 10.0).abs() < 2.0, "selected {:?}", d);
+    }
+
+    #[test]
+    fn empty_clustering_yields_none() {
+        let c = cluster_estimates(&[], 5, 100);
+        assert!(select_direct_path(&c, &LikelihoodWeights::default()).is_none());
+    }
+
+    #[test]
+    fn spread_penalty_monotone() {
+        // Increasing the spread weight can only hurt the loose cluster.
+        let c = cluster_estimates(&direct_and_reflection(), 2, 100);
+        let loose_idx = c
+            .clusters
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.aoa_variance_norm
+                    .partial_cmp(&b.1.aoa_variance_norm)
+                    .unwrap()
+            })
+            .unwrap()
+            .0;
+        let score_of = |w_spread: f64| {
+            let w = LikelihoodWeights {
+                aoa_spread: w_spread,
+                ..LikelihoodWeights::default()
+            };
+            score_clusters(&c, &w)
+                .into_iter()
+                .find(|s| s.cluster_index == loose_idx)
+                .unwrap()
+                .likelihood
+        };
+        assert!(score_of(4.0) < score_of(1.0));
+    }
+}

@@ -1,0 +1,358 @@
+//! Joint AoA/ToF MUSIC over the smoothed CSI matrix (Algorithm 2, steps
+//! 4–6).
+//!
+//! The smoothed measurement matrix `X` (30 × 32) has covariance
+//! `R = X·Xᴴ` whose eigenvectors split into a *signal subspace* (eigenvalues
+//! comparable to λ_max, one per path) and a *noise subspace* (eigenvalues
+//! near zero). Steering vectors of true paths are orthogonal to the noise
+//! subspace, so the pseudospectrum
+//!
+//! ```text
+//! P(θ, τ) = 1 / (a(θ,τ)ᴴ · E_N·E_Nᴴ · a(θ,τ))
+//! ```
+//!
+//! peaks sharply at each path's `(θ, τ)`.
+//!
+//! ### Factored evaluation
+//!
+//! `a(θ,τ)` has Kronecker structure (antenna ⊗ subcarrier), so with
+//! `G = E_N·E_Nᴴ` partitioned into antenna blocks `G[ma][mb]` (each
+//! `N_s × N_s`), the denominator factors as
+//! `Σ_{ma,mb} Φ̄^ma·Φ^mb · (ωᴴ·G[ma][mb]·ω)`. For each τ we compute the
+//! `M_s × M_s` block quadratic forms once (O(M_s²·N_s²)) and then sweep all
+//! θ in O(M_s²) each — ~50× faster than naive evaluation on the paper's
+//! grid sizes.
+
+use spotfi_math::eigen::hermitian_eigen;
+use spotfi_math::{c64, CMat};
+
+use crate::config::{GridSpec, SpotFiConfig};
+use crate::error::{Result, SpotFiError};
+use crate::steering::{omega_powers, phi};
+
+/// A sampled MUSIC pseudospectrum over the (AoA, ToF) grid.
+#[derive(Clone, Debug)]
+pub struct MusicSpectrum {
+    /// AoA grid (degrees).
+    pub aoa_grid: GridSpec,
+    /// ToF grid (nanoseconds, relative — STO shifts the origin).
+    pub tof_grid: GridSpec,
+    /// Pseudospectrum values, indexed `[i_aoa · tof_len + i_tof]`.
+    pub values: Vec<f64>,
+    /// Number of signal-subspace eigenvectors used.
+    pub signal_dimension: usize,
+}
+
+impl MusicSpectrum {
+    /// Value at grid indices.
+    #[inline]
+    pub fn at(&self, i_aoa: usize, i_tof: usize) -> f64 {
+        self.values[i_aoa * self.tof_grid.len() + i_tof]
+    }
+
+    /// The global maximum as `(aoa_deg, tof_ns, value)`.
+    pub fn argmax(&self) -> (f64, f64, f64) {
+        let mut best = (0usize, 0usize, f64::MIN);
+        for ia in 0..self.aoa_grid.len() {
+            for it in 0..self.tof_grid.len() {
+                let v = self.at(ia, it);
+                if v > best.2 {
+                    best = (ia, it, v);
+                }
+            }
+        }
+        (
+            self.aoa_grid.value(best.0),
+            self.tof_grid.value(best.1),
+            best.2,
+        )
+    }
+}
+
+/// Outcome of the eigendecomposition step: noise-subspace projector plus
+/// bookkeeping, reusable across spectrum evaluations.
+pub struct NoiseSubspace {
+    /// `G = E_N·E_Nᴴ`.
+    pub projector: CMat,
+    /// Number of signal eigenvectors excluded.
+    pub signal_dimension: usize,
+    /// All eigenvalues, descending (diagnostics).
+    pub eigenvalues: Vec<f64>,
+}
+
+/// Eigendecomposes `X·Xᴴ` and selects the noise subspace: eigenvalues below
+/// `noise_threshold_ratio · λ_max` are noise, but at least
+/// `dim − max_paths` vectors are always assigned to noise so the signal
+/// subspace can never swallow the whole space.
+pub fn noise_subspace(smoothed: &CMat, cfg: &SpotFiConfig) -> Result<NoiseSubspace> {
+    let r = smoothed.mul_hermitian_self();
+    if !r.as_slice().iter().all(|z| z.is_finite()) {
+        return Err(SpotFiError::DegenerateCsi);
+    }
+    let eig = hermitian_eigen(&r);
+    let dim = eig.values.len();
+    let lmax = eig.values[0].max(0.0);
+    if lmax <= 0.0 {
+        return Err(SpotFiError::DegenerateCsi);
+    }
+    let threshold = cfg.music.noise_threshold_ratio * lmax;
+    let by_threshold = eig.values.iter().filter(|&&l| l >= threshold).count();
+    let signal_dimension = by_threshold.min(cfg.music.max_paths).max(1);
+
+    // G = Σ_{k ≥ signal} v_k·v_kᴴ.
+    let mut g = CMat::zeros(dim, dim);
+    for k in signal_dimension..dim {
+        let v = eig.vectors.col(k);
+        for j in 0..dim {
+            let vj = v[j].conj();
+            for i in 0..dim {
+                g[(i, j)] += v[i] * vj;
+            }
+        }
+    }
+    Ok(NoiseSubspace {
+        projector: g,
+        signal_dimension,
+        eigenvalues: eig.values,
+    })
+}
+
+/// Evaluates the MUSIC pseudospectrum on the configured grid using the
+/// factored Kronecker evaluation.
+pub fn music_spectrum(smoothed: &CMat, cfg: &SpotFiConfig) -> Result<MusicSpectrum> {
+    let ns = cfg.smoothing.sub_subcarriers;
+    let ms = cfg.smoothing.sub_antennas;
+    debug_assert_eq!(smoothed.rows(), ms * ns);
+
+    let sub = noise_subspace(smoothed, cfg)?;
+    let g = &sub.projector;
+
+    let aoa_grid = cfg.music.aoa_grid_deg;
+    let tof_grid = cfg.music.tof_grid_ns;
+    let n_aoa = aoa_grid.len();
+    let n_tof = tof_grid.len();
+    let mut values = vec![0.0f64; n_aoa * n_tof];
+
+    // Precompute Φ powers per AoA: p[m] for m in 0..ms.
+    let spacing = spotfi_channel::constants::half_wavelength_spacing(cfg.ofdm.carrier_hz);
+    let phi_pows: Vec<Vec<c64>> = (0..n_aoa)
+        .map(|ia| {
+            let theta = aoa_grid.value(ia).to_radians();
+            let step = phi(theta.sin(), spacing, cfg.ofdm.carrier_hz);
+            let mut pows = Vec::with_capacity(ms);
+            let mut cur = c64::ONE;
+            for _ in 0..ms {
+                pows.push(cur);
+                cur *= step;
+            }
+            pows
+        })
+        .collect();
+
+    let mut blocks = vec![c64::ZERO; ms * ms];
+    for it in 0..n_tof {
+        let tau = tof_grid.value(it) * 1e-9;
+        let w = omega_powers(tau, ns, cfg.ofdm.subcarrier_spacing_hz);
+        // Block quadratic forms: B[ma][mb] = ωᴴ·G_block(ma, mb)·ω.
+        for ma in 0..ms {
+            for mb in 0..ms {
+                let mut acc = c64::ZERO;
+                for j in 0..ns {
+                    let wj = w[j];
+                    let col_base = mb * ns + j;
+                    let mut inner = c64::ZERO;
+                    for i in 0..ns {
+                        inner += w[i].conj() * g[(ma * ns + i, col_base)];
+                    }
+                    acc += inner * wj;
+                }
+                blocks[ma * ms + mb] = acc;
+            }
+        }
+        for ia in 0..n_aoa {
+            let p = &phi_pows[ia];
+            let mut denom = c64::ZERO;
+            for ma in 0..ms {
+                for mb in 0..ms {
+                    denom += p[ma].conj() * blocks[ma * ms + mb] * p[mb];
+                }
+            }
+            // Theoretically real and ≥ 0; clamp for numerical safety.
+            let d = denom.re.max(1e-12);
+            values[ia * n_tof + it] = 1.0 / d;
+        }
+    }
+
+    Ok(MusicSpectrum {
+        aoa_grid,
+        tof_grid,
+        values,
+        signal_dimension: sub.signal_dimension,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smoothing::smoothed_csi;
+    use crate::steering::steering_vector;
+    use spotfi_channel::constants::{DEFAULT_CARRIER_HZ, INTEL5300_SUBCARRIER_SPACING_HZ};
+
+    fn cfg() -> SpotFiConfig {
+        SpotFiConfig::fast_test()
+    }
+
+    fn csi_for_paths(paths: &[(f64, f64, c64)]) -> CMat {
+        let spacing = spotfi_channel::constants::half_wavelength_spacing(DEFAULT_CARRIER_HZ);
+        let mut csi = CMat::zeros(3, 30);
+        for &(aoa_deg, tof_ns, gain) in paths {
+            let v = steering_vector(
+                aoa_deg.to_radians().sin(),
+                tof_ns * 1e-9,
+                3,
+                30,
+                spacing,
+                DEFAULT_CARRIER_HZ,
+                INTEL5300_SUBCARRIER_SPACING_HZ,
+            );
+            for m in 0..3 {
+                for n in 0..30 {
+                    csi[(m, n)] += v[m * 30 + n] * gain;
+                }
+            }
+        }
+        csi
+    }
+
+    #[test]
+    fn single_path_peak_at_truth() {
+        let c = cfg();
+        let csi = csi_for_paths(&[(20.0, 60.0, c64::ONE)]);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let spec = music_spectrum(&x, &c).unwrap();
+        let (aoa, tof, _) = spec.argmax();
+        assert!((aoa - 20.0).abs() <= 2.0, "aoa {}", aoa);
+        assert!((tof - 60.0).abs() <= 5.0, "tof {}", tof);
+        assert_eq!(spec.signal_dimension, 1);
+    }
+
+    #[test]
+    fn negative_aoa_and_small_tof() {
+        let c = cfg();
+        let csi = csi_for_paths(&[(-55.0, 12.0, c64::ONE)]);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let spec = music_spectrum(&x, &c).unwrap();
+        let (aoa, tof, _) = spec.argmax();
+        assert!((aoa + 55.0).abs() <= 2.0, "aoa {}", aoa);
+        assert!((tof - 12.0).abs() <= 5.0, "tof {}", tof);
+    }
+
+    #[test]
+    fn three_coherent_paths_all_resolved() {
+        // Coherent multipath (same packet, fixed gains) is exactly what
+        // defeats plain MUSIC and what smoothing must fix.
+        let c = cfg();
+        let truth = [
+            (-40.0, 25.0, c64::ONE),
+            (10.0, 110.0, c64::new(0.0, 0.8)),
+            (50.0, 220.0, c64::new(-0.5, 0.3)),
+        ];
+        let csi = csi_for_paths(&truth);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let spec = music_spectrum(&x, &c).unwrap();
+        assert_eq!(spec.signal_dimension, 3);
+        // The spectrum value at each truth point must dwarf the median.
+        let mut sorted = spec.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        for (aoa, tof, _) in truth {
+            let ia = ((aoa - spec.aoa_grid.min) / spec.aoa_grid.step).round() as usize;
+            let it = ((tof - spec.tof_grid.min) / spec.tof_grid.step).round() as usize;
+            // Check a small neighborhood (truth may fall between grid
+            // points).
+            let mut best: f64 = 0.0;
+            for da in -1i64..=1 {
+                for dt in -1i64..=1 {
+                    let a = (ia as i64 + da).clamp(0, spec.aoa_grid.len() as i64 - 1) as usize;
+                    let t = (it as i64 + dt).clamp(0, spec.tof_grid.len() as i64 - 1) as usize;
+                    best = best.max(spec.at(a, t));
+                }
+            }
+            assert!(
+                best > 50.0 * median,
+                "path ({}, {}) not a peak: {} vs median {}",
+                aoa,
+                tof,
+                best,
+                median
+            );
+        }
+    }
+
+    #[test]
+    fn factored_matches_naive_evaluation() {
+        let c = cfg();
+        let csi = csi_for_paths(&[(15.0, 80.0, c64::ONE), (-30.0, 180.0, c64::new(0.3, 0.4))]);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let spec = music_spectrum(&x, &c).unwrap();
+        let sub = noise_subspace(&x, &c).unwrap();
+        let spacing = spotfi_channel::constants::half_wavelength_spacing(c.ofdm.carrier_hz);
+        // Spot-check a handful of grid points against the naive quadratic
+        // form.
+        for &(ia, it) in &[(0usize, 0usize), (30, 40), (45, 80), (88, 99)] {
+            let theta = spec.aoa_grid.value(ia).to_radians();
+            let tau = spec.tof_grid.value(it) * 1e-9;
+            let a = steering_vector(
+                theta.sin(),
+                tau,
+                c.smoothing.sub_antennas,
+                c.smoothing.sub_subcarriers,
+                spacing,
+                c.ofdm.carrier_hz,
+                c.ofdm.subcarrier_spacing_hz,
+            );
+            let naive = 1.0 / sub.projector.quadratic_form(&a).re.max(1e-12);
+            let fast = spec.at(ia, it);
+            assert!(
+                (naive - fast).abs() <= 1e-6 * naive.abs().max(1.0),
+                "({}, {}): naive {} fast {}",
+                ia,
+                it,
+                naive,
+                fast
+            );
+        }
+    }
+
+    #[test]
+    fn zero_csi_rejected() {
+        let c = cfg();
+        let x = CMat::zeros(30, 32);
+        assert!(music_spectrum(&x, &c).is_err());
+    }
+
+    #[test]
+    fn signal_dimension_capped_by_max_paths() {
+        let mut c = cfg();
+        c.music.max_paths = 2;
+        let csi = csi_for_paths(&[
+            (-40.0, 25.0, c64::ONE),
+            (10.0, 110.0, c64::ONE),
+            (50.0, 220.0, c64::ONE),
+        ]);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let sub = noise_subspace(&x, &c).unwrap();
+        assert_eq!(sub.signal_dimension, 2);
+    }
+
+    #[test]
+    fn eigenvalues_reported_descending() {
+        let c = cfg();
+        let csi = csi_for_paths(&[(5.0, 45.0, c64::ONE)]);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let sub = noise_subspace(&x, &c).unwrap();
+        for w in sub.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! 2-D peak extraction from the MUSIC pseudospectrum (Algorithm 2, step 7).
+//!
+//! Paths are local maxima of `P(θ, τ)`. We find strict 8-neighborhood local
+//! maxima on the grid, refine each peak to sub-grid resolution with
+//! independent 1-D quadratic interpolation in log-power (MUSIC peaks are
+//! near-parabolic in log domain), and return the strongest `max_paths`.
+
+use crate::music::MusicSpectrum;
+
+/// One estimated propagation path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathEstimate {
+    /// Angle of arrival, degrees in `[−90, 90]`.
+    pub aoa_deg: f64,
+    /// Relative time of flight, nanoseconds.
+    pub tof_ns: f64,
+    /// Pseudospectrum value at the peak (unitless; larger = stronger).
+    pub power: f64,
+}
+
+/// Extracts up to `max_peaks` local maxima from the spectrum, strongest
+/// first, dropping peaks weaker than `min_rel_power × strongest`.
+///
+/// The relative floor suppresses the finite-aperture sidelobe ridges of the
+/// ToF axis, whose local maxima sit orders of magnitude below real paths.
+pub fn find_peaks_filtered(
+    spec: &MusicSpectrum,
+    max_peaks: usize,
+    min_rel_power: f64,
+) -> Vec<PathEstimate> {
+    let mut peaks = find_peaks(spec, max_peaks);
+    if let Some(strongest) = peaks.first().map(|p| p.power) {
+        peaks.retain(|p| p.power >= strongest * min_rel_power);
+    }
+    peaks
+}
+
+/// Extracts up to `max_peaks` local maxima from the spectrum, strongest
+/// first.
+pub fn find_peaks(spec: &MusicSpectrum, max_peaks: usize) -> Vec<PathEstimate> {
+    let na = spec.aoa_grid.len();
+    let nt = spec.tof_grid.len();
+    let mut peaks: Vec<(usize, usize, f64)> = Vec::new();
+
+    // Grid-boundary points are excluded: the MUSIC spectrum develops
+    // standing ridges at the ±90° AoA edges (steering vectors compress as
+    // |sin θ| → 1) and a boundary "maximum" is not a resolved path.
+    for ia in 1..na.saturating_sub(1) {
+        for it in 1..nt.saturating_sub(1) {
+            let v = spec.at(ia, it);
+            let mut is_peak = true;
+            let mut any_strictly_below = false;
+            'neigh: for da in -1i64..=1 {
+                for dt in -1i64..=1 {
+                    if da == 0 && dt == 0 {
+                        continue;
+                    }
+                    let a = ia as i64 + da;
+                    let t = it as i64 + dt;
+                    if a < 0 || a >= na as i64 || t < 0 || t >= nt as i64 {
+                        continue;
+                    }
+                    let nv = spec.at(a as usize, t as usize);
+                    // Tie-break on plateaus: only the lexicographically
+                    // first plateau point can be a peak.
+                    if nv > v || (nv == v && (da, dt) < (0, 0)) {
+                        is_peak = false;
+                        break 'neigh;
+                    }
+                    if nv < v {
+                        any_strictly_below = true;
+                    }
+                }
+            }
+            // A point on a perfectly flat plateau (no strictly smaller
+            // neighbor) is not a peak.
+            if is_peak && any_strictly_below {
+                peaks.push((ia, it, v));
+            }
+        }
+    }
+
+    peaks.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    peaks.truncate(max_peaks);
+
+    peaks
+        .into_iter()
+        .map(|(ia, it, v)| {
+            let (aoa, tof) = refine(spec, ia, it);
+            PathEstimate {
+                aoa_deg: aoa,
+                tof_ns: tof,
+                power: v,
+            }
+        })
+        .collect()
+}
+
+/// Quadratic sub-grid refinement of a peak, independently per axis, in
+/// log-power.
+fn refine(spec: &MusicSpectrum, ia: usize, it: usize) -> (f64, f64) {
+    let na = spec.aoa_grid.len();
+    let nt = spec.tof_grid.len();
+    let lv = |a: usize, t: usize| spec.at(a, t).max(1e-300).ln();
+
+    let mut aoa = spec.aoa_grid.value(ia);
+    if ia > 0 && ia + 1 < na {
+        let (l, c, r) = (lv(ia - 1, it), lv(ia, it), lv(ia + 1, it));
+        let denom = l - 2.0 * c + r;
+        if denom < -1e-12 {
+            let offset = 0.5 * (l - r) / denom;
+            aoa += offset.clamp(-1.0, 1.0) * spec.aoa_grid.step;
+        }
+    }
+
+    let mut tof = spec.tof_grid.value(it);
+    if it > 0 && it + 1 < nt {
+        let (l, c, r) = (lv(ia, it - 1), lv(ia, it), lv(ia, it + 1));
+        let denom = l - 2.0 * c + r;
+        if denom < -1e-12 {
+            let offset = 0.5 * (l - r) / denom;
+            tof += offset.clamp(-1.0, 1.0) * spec.tof_grid.step;
+        }
+    }
+
+    (aoa, tof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GridSpec, SpotFiConfig};
+    use crate::music::{music_spectrum, MusicSpectrum};
+    use crate::smoothing::smoothed_csi;
+    use crate::steering::steering_vector;
+    use spotfi_channel::constants::{DEFAULT_CARRIER_HZ, INTEL5300_SUBCARRIER_SPACING_HZ};
+    use spotfi_math::CMat;
+
+    /// A synthetic spectrum with Gaussian bumps at given (aoa, tof, height).
+    fn bump_spectrum(bumps: &[(f64, f64, f64)]) -> MusicSpectrum {
+        let aoa_grid = GridSpec::new(-90.0, 90.0, 2.0);
+        let tof_grid = GridSpec::new(0.0, 300.0, 5.0);
+        let mut values = vec![1.0; aoa_grid.len() * tof_grid.len()];
+        for ia in 0..aoa_grid.len() {
+            for it in 0..tof_grid.len() {
+                let a = aoa_grid.value(ia);
+                let t = tof_grid.value(it);
+                for &(ba, bt, h) in bumps {
+                    let d = ((a - ba) / 6.0).powi(2) + ((t - bt) / 15.0).powi(2);
+                    values[ia * tof_grid.len() + it] += h * (-d).exp();
+                }
+            }
+        }
+        MusicSpectrum {
+            aoa_grid,
+            tof_grid,
+            values,
+            signal_dimension: bumps.len(),
+        }
+    }
+
+    #[test]
+    fn finds_all_bumps_in_order() {
+        let spec = bump_spectrum(&[(-30.0, 50.0, 100.0), (20.0, 150.0, 60.0), (60.0, 250.0, 30.0)]);
+        let peaks = find_peaks(&spec, 5);
+        assert_eq!(peaks.len(), 3);
+        assert!((peaks[0].aoa_deg + 30.0).abs() < 2.0);
+        assert!((peaks[1].aoa_deg - 20.0).abs() < 2.0);
+        assert!((peaks[2].aoa_deg - 60.0).abs() < 2.0);
+        // Strongest first.
+        assert!(peaks[0].power >= peaks[1].power);
+        assert!(peaks[1].power >= peaks[2].power);
+    }
+
+    #[test]
+    fn max_peaks_truncates() {
+        let spec = bump_spectrum(&[(-30.0, 50.0, 100.0), (20.0, 150.0, 60.0), (60.0, 250.0, 30.0)]);
+        let peaks = find_peaks(&spec, 2);
+        assert_eq!(peaks.len(), 2);
+        assert!((peaks[0].aoa_deg + 30.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn refinement_beats_grid_resolution() {
+        // Bump centered between grid points: refinement should land closer
+        // than half a grid step.
+        let spec = bump_spectrum(&[(-29.0, 52.5, 100.0)]);
+        let peaks = find_peaks(&spec, 1);
+        assert!(
+            (peaks[0].aoa_deg + 29.0).abs() < 1.0,
+            "refined aoa {}",
+            peaks[0].aoa_deg
+        );
+        assert!(
+            (peaks[0].tof_ns - 52.5).abs() < 2.5,
+            "refined tof {}",
+            peaks[0].tof_ns
+        );
+    }
+
+    #[test]
+    fn flat_spectrum_has_no_interior_peaks() {
+        let aoa_grid = GridSpec::new(-90.0, 90.0, 5.0);
+        let tof_grid = GridSpec::new(0.0, 100.0, 10.0);
+        let spec = MusicSpectrum {
+            values: vec![1.0; aoa_grid.len() * tof_grid.len()],
+            aoa_grid,
+            tof_grid,
+            signal_dimension: 0,
+        };
+        // A perfectly flat plateau has no peaks at all.
+        let peaks = find_peaks(&spec, 10);
+        assert!(peaks.is_empty(), "{} peaks on flat spectrum", peaks.len());
+    }
+
+    #[test]
+    fn end_to_end_music_peaks_recover_paths() {
+        let cfg = SpotFiConfig::fast_test();
+        let spacing = spotfi_channel::constants::half_wavelength_spacing(DEFAULT_CARRIER_HZ);
+        let truth = [(-35.0, 30.0), (25.0, 140.0)];
+        let mut csi = CMat::zeros(3, 30);
+        for &(aoa, tof) in &truth {
+            let v = steering_vector(
+                (aoa as f64).to_radians().sin(),
+                tof * 1e-9,
+                3,
+                30,
+                spacing,
+                DEFAULT_CARRIER_HZ,
+                INTEL5300_SUBCARRIER_SPACING_HZ,
+            );
+            for m in 0..3 {
+                for n in 0..30 {
+                    csi[(m, n)] += v[m * 30 + n];
+                }
+            }
+        }
+        let x = smoothed_csi(&csi, &cfg).unwrap();
+        let spec = music_spectrum(&x, &cfg).unwrap();
+        let peaks = find_peaks(&spec, cfg.music.max_paths);
+        assert!(peaks.len() >= 2, "found {} peaks", peaks.len());
+        for &(aoa, tof) in &truth {
+            let hit = peaks
+                .iter()
+                .any(|p| (p.aoa_deg - aoa).abs() < 3.0 && (p.tof_ns - tof).abs() < 8.0);
+            assert!(hit, "path ({}, {}) not found in {:?}", aoa, tof, peaks);
+        }
+    }
+}

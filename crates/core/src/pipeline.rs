@@ -1,0 +1,291 @@
+//! The end-to-end SpotFi pipeline (paper Algorithm 2).
+//!
+//! ```text
+//! for each AP:
+//!     for each packet:
+//!         sanitize CSI (Algorithm 1)          → sanitize
+//!         build smoothed CSI (Fig. 4)         → smoothing
+//!         MUSIC spectrum + peaks              → music, peaks
+//!     cluster (AoA, ToF) estimates            → cluster
+//!     score clusters, pick direct path (Eq.8) → likelihood
+//! fuse direct AoAs + RSSI across APs (Eq. 9)  → localize
+//! ```
+//!
+//! [`SpotFi`] is the user-facing object: construct it with a
+//! [`SpotFiConfig`], feed it per-AP packet sets, get a location.
+
+use spotfi_channel::{AntennaArray, CsiPacket};
+use spotfi_math::stats::mean;
+
+use crate::cluster::{cluster_estimates, Clustering};
+use crate::config::SpotFiConfig;
+use crate::error::{Result, SpotFiError};
+use crate::likelihood::{select_direct_path, DirectPath};
+use crate::localize::{localize, localize_in_bounds, ApMeasurement, LocationEstimate, SearchBounds};
+use crate::music::music_spectrum;
+use crate::peaks::{find_peaks_filtered, PathEstimate};
+use crate::sanitize::sanitize_csi;
+use crate::smoothing::smoothed_csi;
+
+/// What one AP heard: its array geometry plus the packets it captured.
+#[derive(Clone, Debug)]
+pub struct ApPackets {
+    /// The AP's antenna array.
+    pub array: AntennaArray,
+    /// Captured packets (CSI + RSSI).
+    pub packets: Vec<CsiPacket>,
+}
+
+/// Per-AP analysis output: everything Algorithm 2 computes before fusion.
+#[derive(Clone, Debug)]
+pub struct ApAnalysis {
+    /// The AP's antenna array.
+    pub array: AntennaArray,
+    /// All per-packet path estimates (each packet contributes ≤ `max_paths`).
+    pub path_estimates: Vec<PathEstimate>,
+    /// The clustering of those estimates.
+    pub clustering: Clustering,
+    /// The selected direct path, if any cluster survived.
+    pub direct: Option<DirectPath>,
+    /// Mean RSSI across packets, dBm.
+    pub mean_rssi_dbm: f64,
+    /// Packets that failed sanitization or produced no peaks.
+    pub dropped_packets: usize,
+}
+
+impl ApAnalysis {
+    /// Converts to the localization input, if a direct path was found.
+    pub fn to_measurement(&self) -> Option<ApMeasurement> {
+        self.direct.map(|d| ApMeasurement {
+            array: self.array,
+            direct_aoa_deg: d.aoa_deg,
+            likelihood: d.likelihood,
+            rssi_dbm: self.mean_rssi_dbm,
+        })
+    }
+}
+
+/// The SpotFi estimator.
+#[derive(Clone, Debug, Default)]
+pub struct SpotFi {
+    config: SpotFiConfig,
+}
+
+impl SpotFi {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: SpotFiConfig) -> Self {
+        SpotFi { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SpotFiConfig {
+        &self.config
+    }
+
+    /// Estimates the multipath parameters of a single packet: sanitize →
+    /// smooth → estimator (Algorithm 2 steps 3–7). The estimator is MUSIC
+    /// by default; [`crate::config::Estimator::Esprit`] swaps in the
+    /// grid-free shift-invariance algorithm.
+    pub fn analyze_packet(&self, packet: &CsiPacket) -> Result<Vec<PathEstimate>> {
+        let sanitized = sanitize_csi(&packet.csi, self.config.ofdm.subcarrier_spacing_hz)?;
+        let x = smoothed_csi(&sanitized.csi, &self.config)?;
+        let peaks = match self.config.estimator {
+            crate::config::Estimator::Music => {
+                let spec = music_spectrum(&x, &self.config)?;
+                find_peaks_filtered(
+                    &spec,
+                    self.config.music.max_paths,
+                    self.config.music.min_relative_peak_power,
+                )
+            }
+            crate::config::Estimator::Esprit => crate::esprit::esprit_paths(&x, &self.config)?,
+        };
+        if peaks.is_empty() {
+            return Err(SpotFiError::NoPaths);
+        }
+        Ok(peaks)
+    }
+
+    /// Full per-AP analysis (Algorithm 2 steps 2–10): per-packet estimation,
+    /// clustering across packets, direct-path selection.
+    pub fn analyze_ap(&self, ap: &ApPackets) -> Result<ApAnalysis> {
+        if ap.packets.is_empty() {
+            return Err(SpotFiError::NoPackets);
+        }
+        let mut estimates = Vec::new();
+        let mut dropped = 0usize;
+        for packet in &ap.packets {
+            match self.analyze_packet(packet) {
+                Ok(mut peaks) => estimates.append(&mut peaks),
+                Err(_) => dropped += 1,
+            }
+        }
+        let clustering = cluster_estimates(
+            &estimates,
+            self.config.cluster.num_clusters,
+            self.config.cluster.max_iterations,
+        );
+        let direct = select_direct_path(&clustering, &self.config.likelihood);
+        let rssi: Vec<f64> = ap.packets.iter().map(|p| p.rssi_dbm).collect();
+        Ok(ApAnalysis {
+            array: ap.array,
+            path_estimates: estimates,
+            clustering,
+            direct,
+            mean_rssi_dbm: mean(&rssi),
+            dropped_packets: dropped,
+        })
+    }
+
+    /// Localizes a target from the packets heard at every AP (Algorithm 2,
+    /// complete). APs with no usable direct path are skipped; at least two
+    /// must survive.
+    pub fn localize(&self, aps: &[ApPackets]) -> Result<LocationEstimate> {
+        let analyses = self.analyze_all(aps)?;
+        let measurements: Vec<ApMeasurement> =
+            analyses.iter().filter_map(|a| a.to_measurement()).collect();
+        localize(&measurements, &self.config.localize)
+    }
+
+    /// Like [`localize`](Self::localize) but constrained to explicit bounds
+    /// (e.g. the building outline).
+    pub fn localize_in_bounds(
+        &self,
+        aps: &[ApPackets],
+        bounds: SearchBounds,
+    ) -> Result<LocationEstimate> {
+        let analyses = self.analyze_all(aps)?;
+        let measurements: Vec<ApMeasurement> =
+            analyses.iter().filter_map(|a| a.to_measurement()).collect();
+        localize_in_bounds(&measurements, bounds, &self.config.localize)
+    }
+
+    /// Runs per-AP analysis on every AP, keeping successes.
+    pub fn analyze_all(&self, aps: &[ApPackets]) -> Result<Vec<ApAnalysis>> {
+        let analyses: Vec<ApAnalysis> = aps
+            .iter()
+            .filter_map(|ap| self.analyze_ap(ap).ok())
+            .collect();
+        if analyses.is_empty() {
+            return Err(SpotFiError::InsufficientAps { usable: 0 });
+        }
+        Ok(analyses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spotfi_channel::{
+        Floorplan, OfdmConfig, PacketTrace, Point, TraceConfig,
+    };
+    use spotfi_channel::constants::DEFAULT_CARRIER_HZ;
+
+    fn ap_array(x: f64, y: f64, toward: Point) -> AntennaArray {
+        let angle = (toward - Point::new(x, y)).angle();
+        AntennaArray::intel5300(Point::new(x, y), angle, DEFAULT_CARRIER_HZ)
+    }
+
+    fn spotfi() -> SpotFi {
+        SpotFi::new(SpotFiConfig::fast_test())
+    }
+
+    fn gen_packets(
+        plan: &Floorplan,
+        target: Point,
+        array: AntennaArray,
+        cfg: &TraceConfig,
+        n: usize,
+        seed: u64,
+    ) -> ApPackets {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = PacketTrace::generate(plan, target, &array, cfg, n, &mut rng).unwrap();
+        ApPackets {
+            array,
+            packets: trace.packets,
+        }
+    }
+
+    #[test]
+    fn free_space_single_ap_aoa_is_accurate() {
+        let plan = Floorplan::empty();
+        let center = Point::new(0.0, 5.0);
+        let array = ap_array(0.0, 0.0, center);
+        let target = Point::new(-3.0, 4.0);
+        let ap = gen_packets(&plan, target, array, &TraceConfig::commodity(), 10, 42);
+        let analysis = spotfi().analyze_ap(&ap).unwrap();
+        let d = analysis.direct.expect("direct path");
+        let truth = array.aoa_from_deg(target);
+        assert!(
+            (d.aoa_deg - truth).abs() < 4.0,
+            "estimated {} vs truth {}",
+            d.aoa_deg,
+            truth
+        );
+        assert_eq!(analysis.dropped_packets, 0);
+    }
+
+    #[test]
+    fn free_space_localization_end_to_end() {
+        let plan = Floorplan::empty();
+        let target = Point::new(4.0, 6.0);
+        let center = Point::new(5.0, 5.0);
+        let cfg = TraceConfig::commodity();
+        let aps: Vec<ApPackets> = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                gen_packets(&plan, target, ap_array(x, y, center), &cfg, 10, 100 + i as u64)
+            })
+            .collect();
+        let est = spotfi().localize(&aps).unwrap();
+        let err = est.position.distance(target);
+        assert!(err < 1.0, "localization error {} m at {:?}", err, est.position);
+    }
+
+    #[test]
+    fn analyze_packet_rejects_garbage() {
+        let s = spotfi();
+        let zero = CsiPacket {
+            csi: spotfi_math::CMat::zeros(3, 30),
+            rssi_dbm: -50.0,
+            timestamp_s: 0.0,
+            injected_sto_s: 0.0,
+        };
+        assert!(s.analyze_packet(&zero).is_err());
+    }
+
+    #[test]
+    fn empty_packets_error() {
+        let array = ap_array(0.0, 0.0, Point::new(0.0, 5.0));
+        let ap = ApPackets {
+            array,
+            packets: vec![],
+        };
+        assert_eq!(spotfi().analyze_ap(&ap).unwrap_err(), SpotFiError::NoPackets);
+        assert!(matches!(
+            spotfi().localize(&[]),
+            Err(SpotFiError::InsufficientAps { .. })
+        ));
+    }
+
+    #[test]
+    fn estimates_accumulate_across_packets() {
+        let plan = Floorplan::empty();
+        let array = ap_array(0.0, 0.0, Point::new(0.0, 5.0));
+        let ap = gen_packets(
+            &plan,
+            Point::new(1.0, 6.0),
+            array,
+            &TraceConfig::commodity(),
+            8,
+            7,
+        );
+        let analysis = spotfi().analyze_ap(&ap).unwrap();
+        // Free space: ≥ 1 estimate per packet.
+        assert!(analysis.path_estimates.len() >= 8);
+        let _ = OfdmConfig::intel5300_40mhz();
+    }
+}

@@ -1,0 +1,198 @@
+//! Joint AoA/ToF steering vectors (paper Eqs. 1, 6, 7).
+//!
+//! A propagation path with AoA θ and (relative) ToF τ imposes two phase
+//! ramps on the CSI:
+//!
+//! * across antennas: `Φ(θ) = e^{−j·2π·d·sin θ·f/c}` per antenna step;
+//! * across subcarriers: `Ω(τ) = e^{−j·2π·f_δ·τ}` per subcarrier step.
+//!
+//! The joint steering vector over an `M × N` (antennas × subcarriers) sensor
+//! array is the Kronecker structure of Eq. 7, ordered antenna-major:
+//! element `(m, n)` at index `m·N + n` equals `Φ^m · Ω^n`.
+
+use spotfi_channel::constants::SPEED_OF_LIGHT;
+use spotfi_math::c64;
+
+/// Per-antenna phase factor `Φ(θ)` (Eq. 1).
+///
+/// `sin_theta` is the sine of the AoA; `spacing_m` the antenna spacing;
+/// `carrier_hz` the carrier frequency.
+#[inline]
+pub fn phi(sin_theta: f64, spacing_m: f64, carrier_hz: f64) -> c64 {
+    c64::cis(-2.0 * std::f64::consts::PI * spacing_m * sin_theta * carrier_hz / SPEED_OF_LIGHT)
+}
+
+/// Per-subcarrier phase factor `Ω(τ)` (Eq. 6).
+#[inline]
+pub fn omega(tof_s: f64, subcarrier_spacing_hz: f64) -> c64 {
+    c64::cis(-2.0 * std::f64::consts::PI * subcarrier_spacing_hz * tof_s)
+}
+
+/// The joint steering vector of Eq. 7 for an `m_ant × n_sub` sensor array,
+/// antenna-major ordering.
+pub fn steering_vector(
+    sin_theta: f64,
+    tof_s: f64,
+    m_ant: usize,
+    n_sub: usize,
+    spacing_m: f64,
+    carrier_hz: f64,
+    subcarrier_spacing_hz: f64,
+) -> Vec<c64> {
+    let phi_step = phi(sin_theta, spacing_m, carrier_hz);
+    let omega_step = omega(tof_s, subcarrier_spacing_hz);
+    let mut out = Vec::with_capacity(m_ant * n_sub);
+    let mut phi_m = c64::ONE;
+    for _m in 0..m_ant {
+        let mut w = phi_m;
+        for _n in 0..n_sub {
+            out.push(w);
+            w *= omega_step;
+        }
+        phi_m *= phi_step;
+    }
+    out
+}
+
+/// Powers `Ω(τ)^0 .. Ω(τ)^{n−1}` — one antenna's row of the steering
+/// structure, used by the factored MUSIC spectrum evaluation.
+pub fn omega_powers(tof_s: f64, n_sub: usize, subcarrier_spacing_hz: f64) -> Vec<c64> {
+    let step = omega(tof_s, subcarrier_spacing_hz);
+    let mut out = Vec::with_capacity(n_sub);
+    let mut w = c64::ONE;
+    for _ in 0..n_sub {
+        out.push(w);
+        w *= step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotfi_channel::constants::{DEFAULT_CARRIER_HZ, INTEL5300_SUBCARRIER_SPACING_HZ};
+
+    const SPACING: f64 = 0.028;
+
+    #[test]
+    fn phi_is_unit_modulus() {
+        for k in -10..=10 {
+            let s = k as f64 / 10.0;
+            assert!((phi(s, SPACING, DEFAULT_CARRIER_HZ).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phi_zero_aoa_is_one() {
+        let p = phi(0.0, SPACING, DEFAULT_CARRIER_HZ);
+        assert!((p - c64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn omega_matches_eq6() {
+        let tau = 25e-9;
+        let w = omega(tau, INTEL5300_SUBCARRIER_SPACING_HZ);
+        let expected = -2.0 * std::f64::consts::PI * INTEL5300_SUBCARRIER_SPACING_HZ * tau;
+        assert!((w.arg() - spotfi_math::wrap_pi(expected)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steering_vector_structure() {
+        let m_ant = 2;
+        let n_sub = 4;
+        let v = steering_vector(
+            0.5,
+            30e-9,
+            m_ant,
+            n_sub,
+            SPACING,
+            DEFAULT_CARRIER_HZ,
+            INTEL5300_SUBCARRIER_SPACING_HZ,
+        );
+        assert_eq!(v.len(), 8);
+        let p = phi(0.5, SPACING, DEFAULT_CARRIER_HZ);
+        let w = omega(30e-9, INTEL5300_SUBCARRIER_SPACING_HZ);
+        // Element (m, n) = Φ^m · Ω^n.
+        for m in 0..m_ant {
+            for n in 0..n_sub {
+                let expect = p.powi(m as i32) * w.powi(n as i32);
+                let got = v[m * n_sub + n];
+                assert!((got - expect).abs() < 1e-12, "({}, {})", m, n);
+            }
+        }
+    }
+
+    #[test]
+    fn first_element_is_one() {
+        let v = steering_vector(
+            -0.3,
+            100e-9,
+            3,
+            30,
+            SPACING,
+            DEFAULT_CARRIER_HZ,
+            INTEL5300_SUBCARRIER_SPACING_HZ,
+        );
+        assert!((v[0] - c64::ONE).abs() < 1e-14);
+        // All unit modulus.
+        for z in &v {
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn omega_powers_match_steering_vector() {
+        let tau = 60e-9;
+        let pw = omega_powers(tau, 15, INTEL5300_SUBCARRIER_SPACING_HZ);
+        let v = steering_vector(
+            0.0,
+            tau,
+            1,
+            15,
+            SPACING,
+            DEFAULT_CARRIER_HZ,
+            INTEL5300_SUBCARRIER_SPACING_HZ,
+        );
+        for (a, b) in pw.iter().zip(v.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distinct_parameters_give_distinct_vectors() {
+        let a = steering_vector(
+            0.2,
+            50e-9,
+            2,
+            15,
+            SPACING,
+            DEFAULT_CARRIER_HZ,
+            INTEL5300_SUBCARRIER_SPACING_HZ,
+        );
+        let b = steering_vector(
+            0.3,
+            50e-9,
+            2,
+            15,
+            SPACING,
+            DEFAULT_CARRIER_HZ,
+            INTEL5300_SUBCARRIER_SPACING_HZ,
+        );
+        let c = steering_vector(
+            0.2,
+            80e-9,
+            2,
+            15,
+            SPACING,
+            DEFAULT_CARRIER_HZ,
+            INTEL5300_SUBCARRIER_SPACING_HZ,
+        );
+        // Normalized correlation < 1 means linearly independent.
+        let corr = |x: &[c64], y: &[c64]| {
+            let dot: c64 = x.iter().zip(y).map(|(a, b)| a.conj() * *b).sum();
+            dot.abs() / x.len() as f64
+        };
+        assert!(corr(&a, &b) < 0.99);
+        assert!(corr(&a, &c) < 0.99);
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based tests of the SpotFi algorithm building blocks.
+
+use proptest::prelude::*;
+
+use spotfi_core::cluster::cluster_estimates;
+use spotfi_core::config::SpotFiConfig;
+use spotfi_core::likelihood::select_direct_path;
+use spotfi_core::peaks::PathEstimate;
+use spotfi_core::sanitize::sanitize_csi;
+use spotfi_core::smoothing::smoothed_csi;
+use spotfi_core::steering::{omega, phi, steering_vector};
+use spotfi_math::{c64, CMat};
+
+const CARRIER: f64 = 5.32e9;
+const F_DELTA: f64 = 1.25e6;
+const SPACING: f64 = 0.028_17;
+
+fn csi_single(sin_theta: f64, tof_s: f64, gain: c64) -> CMat {
+    let v = steering_vector(sin_theta, tof_s, 3, 30, SPACING, CARRIER, F_DELTA);
+    CMat::from_fn(3, 30, |m, n| v[m * 30 + n] * gain)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Fig. 3 shift property, for arbitrary parameters: every smoothed
+    /// column is the base column scaled by Φ^Δm·Ω^Δn.
+    #[test]
+    fn smoothing_shift_property(
+        sin_t in -0.95f64..0.95,
+        tof_ns in 0.0f64..350.0,
+        g_re in -1.0f64..1.0,
+        g_im in -1.0f64..1.0,
+    ) {
+        prop_assume!(g_re.abs() + g_im.abs() > 0.1);
+        let cfg = SpotFiConfig::default();
+        let tof = tof_ns * 1e-9;
+        let csi = csi_single(sin_t, tof, c64::new(g_re, g_im));
+        let x = smoothed_csi(&csi, &cfg).unwrap();
+        let p = phi(sin_t, SPACING, CARRIER);
+        let w = omega(tof, F_DELTA);
+        let sub_shifts = 30 - cfg.smoothing.sub_subcarriers + 1;
+        for dm in 0..2usize {
+            for dn in 0..sub_shifts {
+                let scale = p.powi(dm as i32) * w.powi(dn as i32);
+                let col = dm * sub_shifts + dn;
+                for r in 0..x.rows() {
+                    let expect = x[(r, 0)] * scale;
+                    prop_assert!(
+                        (x[(r, col)] - expect).abs() < 1e-9,
+                        "column ({}, {}) row {} mismatch",
+                        dm, dn, r
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sanitization is idempotent and magnitude-preserving on any CSI
+    /// whose phases come from a physical path model.
+    #[test]
+    fn sanitize_idempotent(sin_t in -0.9f64..0.9, tof_ns in 0.0f64..200.0, sto_ns in -80.0f64..80.0) {
+        let mut csi = csi_single(sin_t, tof_ns * 1e-9, c64::ONE);
+        // Inject an STO ramp by hand.
+        for n in 0..30 {
+            let ramp = c64::cis(-2.0 * std::f64::consts::PI * F_DELTA * n as f64 * sto_ns * 1e-9);
+            for m in 0..3 {
+                csi[(m, n)] *= ramp;
+            }
+        }
+        let once = sanitize_csi(&csi, F_DELTA).unwrap();
+        let twice = sanitize_csi(&once.csi, F_DELTA).unwrap();
+        prop_assert!((&once.csi - &twice.csi).max_abs() < 1e-8);
+        prop_assert!(twice.estimated_sto_s.abs() < 1e-12);
+        for (a, b) in once.csi.as_slice().iter().zip(csi.as_slice()) {
+            prop_assert!((a.abs() - b.abs()).abs() < 1e-12);
+        }
+    }
+
+    /// Clustering always partitions the input, regardless of geometry.
+    #[test]
+    fn clustering_partitions(
+        points in prop::collection::vec((-90.0f64..90.0, -100.0f64..400.0), 1..120),
+        k in 1usize..8,
+    ) {
+        let estimates: Vec<PathEstimate> = points
+            .iter()
+            .map(|&(a, t)| PathEstimate { aoa_deg: a, tof_ns: t, power: 1.0 })
+            .collect();
+        let c = cluster_estimates(&estimates, k, 100);
+        let mut seen = vec![false; estimates.len()];
+        for cl in &c.clusters {
+            prop_assert!(cl.count == cl.members.len());
+            prop_assert!(cl.count > 0);
+            for &m in &cl.members {
+                prop_assert!(!seen[m], "point {} assigned twice", m);
+                seen[m] = true;
+            }
+            // Cluster means lie within the data's bounding box.
+            prop_assert!(cl.mean_aoa_deg >= -90.0 - 1e-9 && cl.mean_aoa_deg <= 90.0 + 1e-9);
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some point unassigned");
+        prop_assert!(c.clusters.len() <= k);
+    }
+
+    /// Selection is invariant to a global ToF shift — the formal statement
+    /// of "sanitized ToFs are only relative" (the likelihood must not care
+    /// about the per-AP STO residue).
+    #[test]
+    fn selection_invariant_to_global_tof_shift(
+        points in prop::collection::vec((-80.0f64..80.0, 0.0f64..250.0), 12..60),
+        shift in -200.0f64..200.0,
+    ) {
+        let cfg = SpotFiConfig::default();
+        let base: Vec<PathEstimate> = points
+            .iter()
+            .map(|&(a, t)| PathEstimate { aoa_deg: a, tof_ns: t, power: 1.0 })
+            .collect();
+        let shifted: Vec<PathEstimate> = base
+            .iter()
+            .map(|e| PathEstimate { tof_ns: e.tof_ns + shift, ..*e })
+            .collect();
+        let sel_a = select_direct_path(
+            &cluster_estimates(&base, cfg.cluster.num_clusters, 100),
+            &cfg.likelihood,
+        );
+        let sel_b = select_direct_path(
+            &cluster_estimates(&shifted, cfg.cluster.num_clusters, 100),
+            &cfg.likelihood,
+        );
+        match (sel_a, sel_b) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a.aoa_deg - b.aoa_deg).abs() < 1e-6,
+                    "selection moved under ToF shift: {} vs {}", a.aoa_deg, b.aoa_deg);
+                prop_assert!((b.tof_ns - a.tof_ns - shift).abs() < 1e-6);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "selection existence changed under ToF shift"),
+        }
+    }
+
+    /// The steering vector's Kronecker structure: a(θ,τ) restricted to one
+    /// antenna equals the subcarrier ramp times that antenna's phase.
+    #[test]
+    fn steering_kronecker_structure(sin_t in -1.0f64..1.0, tof_ns in 0.0f64..400.0) {
+        let v = steering_vector(sin_t, tof_ns * 1e-9, 3, 15, SPACING, CARRIER, F_DELTA);
+        let p = phi(sin_t, SPACING, CARRIER);
+        for m in 0..3 {
+            let anchor = v[m * 15];
+            prop_assert!((anchor - p.powi(m as i32)).abs() < 1e-10);
+            for n in 0..15 {
+                // Row ratio within an antenna is Ω^n, independent of m.
+                let expect = v[n] * anchor;
+                prop_assert!((v[m * 15 + n] - expect).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+/// The pipeline is generic over array geometry: a 2-antenna × 16-subcarrier
+/// configuration (e.g. a 20 MHz capture on a 2-chain NIC) must run end to
+/// end with consistent dimensions.
+#[test]
+fn generic_dimensions_pipeline() {
+    use spotfi_core::config::{GridSpec, SmoothingConfig};
+    use spotfi_core::{find_peaks, music_spectrum};
+    use spotfi_channel::OfdmConfig;
+
+    let mut cfg = SpotFiConfig::default();
+    cfg.num_antennas = 2;
+    cfg.ofdm = OfdmConfig {
+        carrier_hz: 2.437e9, // 2.4 GHz band
+        subcarrier_spacing_hz: 312_500.0 * 4.0,
+        num_subcarriers: 16,
+    };
+    cfg.smoothing = SmoothingConfig {
+        sub_antennas: 2,
+        sub_subcarriers: 8,
+    };
+    cfg.music.aoa_grid_deg = GridSpec::new(-90.0, 90.0, 2.0);
+    cfg.music.tof_grid_ns = GridSpec::new(-100.0, 300.0, 5.0);
+
+    assert_eq!(cfg.smoothed_rows(), 16);
+    assert_eq!(cfg.smoothed_cols(), 9);
+
+    // Single path through the generic steering model.
+    let spacing = spotfi_channel::constants::half_wavelength_spacing(cfg.ofdm.carrier_hz);
+    let v = steering_vector(
+        (25.0f64).to_radians().sin(),
+        60e-9,
+        2,
+        16,
+        spacing,
+        cfg.ofdm.carrier_hz,
+        cfg.ofdm.subcarrier_spacing_hz,
+    );
+    let csi = CMat::from_fn(2, 16, |m, n| v[m * 16 + n]);
+    let s = sanitize_csi(&csi, cfg.ofdm.subcarrier_spacing_hz).unwrap();
+    let x = smoothed_csi(&s.csi, &cfg).unwrap();
+    assert_eq!(x.shape(), (16, 9));
+    let spec = music_spectrum(&x, &cfg).unwrap();
+    let peaks = find_peaks(&spec, 3);
+    assert!(!peaks.is_empty());
+    // Sanitization shifts the ToF origin; only the AoA is checked against
+    // truth, and the relative ToF must be finite and on the grid.
+    assert!(
+        (peaks[0].aoa_deg - 25.0).abs() < 4.0,
+        "generic-dims AoA {}",
+        peaks[0].aoa_deg
+    );
+    assert!(peaks[0].tof_ns.is_finite());
+}

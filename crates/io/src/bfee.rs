@@ -1,0 +1,470 @@
+//! The Intel 5300 beamforming-report ("bfee") record.
+//!
+//! Layout (after the 1-byte record code `0xBB`), little-endian, matching
+//! the reference `read_bfee.c`:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     timestamp_low       (µs, NIC clock)
+//! 4       2     bfee_count
+//! 6       2     reserved
+//! 8       1     Nrx                 (receive antennas)
+//! 9       1     Ntx                 (transmit streams)
+//! 10      1     rssi_a              (dB above noise floor + AGC)
+//! 11      1     rssi_b
+//! 12      1     rssi_c
+//! 13      1     noise               (signed dBm)
+//! 14      1     agc
+//! 15      1     antenna_sel         (2-bit fields: RF-chain permutation)
+//! 16      2     len                 (payload bytes)
+//! 18      2     fake_rate_n_flags
+//! 20      len   payload             (packed CSI)
+//! ```
+//!
+//! The payload packs, for each of 30 subcarrier groups, 3 header bits then
+//! `Ntx·Nrx` complex entries of signed 8-bit (imag, real) pairs at an
+//! arbitrary bit offset — hence the shift-and-stitch extraction below.
+
+use spotfi_math::{c64, CMat};
+use std::fmt;
+
+/// Number of subcarrier groups the firmware reports.
+pub const NUM_SUBCARRIERS: usize = 30;
+
+/// Record code for beamforming reports in the `.dat` stream.
+pub const BFEE_CODE: u8 = 0xBB;
+
+/// Errors from record parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Record shorter than the fixed header.
+    TruncatedHeader {
+        /// Bytes available.
+        got: usize,
+    },
+    /// Payload length field disagrees with the actual bytes present.
+    TruncatedPayload {
+        /// Bytes the length field promised.
+        expected: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Payload length inconsistent with Nrx/Ntx.
+    LengthMismatch {
+        /// Length implied by Nrx/Ntx.
+        calculated: usize,
+        /// Length field in the record.
+        reported: usize,
+    },
+    /// Unsupported antenna configuration.
+    BadDimensions {
+        /// Receive antennas field.
+        nrx: u8,
+        /// Transmit streams field.
+        ntx: u8,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::TruncatedHeader { got } => {
+                write!(f, "bfee header truncated: {} bytes", got)
+            }
+            ParseError::TruncatedPayload { expected, got } => {
+                write!(f, "bfee payload truncated: expected {}, got {}", expected, got)
+            }
+            ParseError::LengthMismatch { calculated, reported } => write!(
+                f,
+                "bfee length mismatch: calculated {}, reported {}",
+                calculated, reported
+            ),
+            ParseError::BadDimensions { nrx, ntx } => {
+                write!(f, "unsupported bfee dimensions: {}×{}", nrx, ntx)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Decodes `antenna_sel` into an RF-chain → physical-antenna map for
+/// `nrx` chains, falling back to identity when the encoded map is not a
+/// bijection onto `0..nrx`.
+fn effective_permutation(antenna_sel: u8, nrx: usize) -> [usize; 3] {
+    let perm = [
+        (antenna_sel & 0x3) as usize,
+        ((antenna_sel >> 2) & 0x3) as usize,
+        ((antenna_sel >> 4) & 0x3) as usize,
+    ];
+    let mut seen = [false; 4];
+    let mut valid = true;
+    for &p in perm.iter().take(nrx) {
+        if p >= nrx || seen[p] {
+            valid = false;
+            break;
+        }
+        seen[p] = true;
+    }
+    if valid {
+        perm
+    } else {
+        [0, 1, 2]
+    }
+}
+
+/// One parsed beamforming report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BfeeRecord {
+    /// Microsecond timestamp from the NIC's clock (wraps every ~72 min).
+    pub timestamp_low: u32,
+    /// Running report counter (detects driver drops).
+    pub bfee_count: u16,
+    /// Receive antennas (1–3).
+    pub nrx: u8,
+    /// Transmit streams (1–3 — SpotFi targets send single-stream).
+    pub ntx: u8,
+    /// RSSI at RF chain A (dB above noise floor, before AGC removal).
+    pub rssi_a: u8,
+    /// RSSI at RF chain B.
+    pub rssi_b: u8,
+    /// RSSI at RF chain C.
+    pub rssi_c: u8,
+    /// Reported noise floor, dBm (−127 when unmeasured).
+    pub noise: i8,
+    /// AGC gain, dB.
+    pub agc: u8,
+    /// RF-chain permutation field.
+    pub antenna_sel: u8,
+    /// Rate/flags word (opaque).
+    pub rate: u16,
+    /// Raw CSI, `csi[(rx, subcarrier)]` for tx stream 0, already
+    /// de-permuted to physical antenna order. For multi-stream records the
+    /// extra streams are stored in `extra_streams`.
+    pub csi: CMat,
+    /// Streams 1.. (each `nrx × 30`), in order.
+    pub extra_streams: Vec<CMat>,
+}
+
+impl BfeeRecord {
+    /// The receive-antenna permutation: `perm[i]` is the physical RF chain
+    /// that the `i`-th strongest stream was measured on (reference
+    /// `antenna_sel` decoding).
+    pub fn permutation(&self) -> [usize; 3] {
+        [
+            (self.antenna_sel & 0x3) as usize,
+            ((self.antenna_sel >> 2) & 0x3) as usize,
+            ((self.antenna_sel >> 4) & 0x3) as usize,
+        ]
+    }
+
+    /// Total received power estimate, dBm, from the per-antenna RSSI
+    /// fields, AGC, and the fixed −44 dB offset of the reference
+    /// implementation (`get_total_rss.m`).
+    pub fn total_rssi_dbm(&self) -> f64 {
+        let mut rssi_mag = 0.0;
+        for r in [self.rssi_a, self.rssi_b, self.rssi_c] {
+            if r != 0 {
+                rssi_mag += 10f64.powf(r as f64 / 10.0);
+            }
+        }
+        10.0 * rssi_mag.max(1e-12).log10() - 44.0 - self.agc as f64
+    }
+
+    /// Expected payload length for given dimensions (reference formula).
+    pub fn calc_payload_len(nrx: usize, ntx: usize) -> usize {
+        (NUM_SUBCARRIERS * (nrx * ntx * 8 * 2 + 3) + 7) / 8
+    }
+
+    /// Parses a record from the bytes following the `0xBB` code.
+    pub fn parse(bytes: &[u8]) -> Result<BfeeRecord, ParseError> {
+        if bytes.len() < 20 {
+            return Err(ParseError::TruncatedHeader { got: bytes.len() });
+        }
+        let timestamp_low = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let bfee_count = u16::from_le_bytes([bytes[4], bytes[5]]);
+        let nrx = bytes[8];
+        let ntx = bytes[9];
+        let rssi_a = bytes[10];
+        let rssi_b = bytes[11];
+        let rssi_c = bytes[12];
+        let noise = bytes[13] as i8;
+        let agc = bytes[14];
+        let antenna_sel = bytes[15];
+        let len = u16::from_le_bytes([bytes[16], bytes[17]]) as usize;
+        let rate = u16::from_le_bytes([bytes[18], bytes[19]]);
+
+        if !(1..=3).contains(&nrx) || !(1..=3).contains(&ntx) {
+            return Err(ParseError::BadDimensions { nrx, ntx });
+        }
+        let calc = Self::calc_payload_len(nrx as usize, ntx as usize);
+        if calc != len {
+            return Err(ParseError::LengthMismatch {
+                calculated: calc,
+                reported: len,
+            });
+        }
+        let payload = &bytes[20..];
+        if payload.len() < len {
+            return Err(ParseError::TruncatedPayload {
+                expected: len,
+                got: payload.len(),
+            });
+        }
+
+        // Bit-packed extraction, identical to read_bfee.c.
+        let nrx = nrx as usize;
+        let ntx = ntx as usize;
+        let mut streams: Vec<CMat> = (0..ntx).map(|_| CMat::zeros(nrx, NUM_SUBCARRIERS)).collect();
+        let mut index = 0usize; // bit index
+        for sc in 0..NUM_SUBCARRIERS {
+            index += 3;
+            let mut remainder = index % 8;
+            for j in 0..(nrx * ntx) {
+                let byte = index / 8;
+                let imag = ((payload[byte] as u16 >> remainder)
+                    | ((payload[byte + 1] as u16) << (8 - remainder)))
+                    as u8 as i8;
+                let real = ((payload[byte + 1] as u16 >> remainder)
+                    | ((payload[byte + 2] as u16) << (8 - remainder)))
+                    as u8 as i8;
+                // Reference ordering: j runs rx-major within each tx
+                // stream? The driver packs rx fastest: j = tx*nrx + rx.
+                let tx = j / nrx;
+                let rx = j % nrx;
+                streams[tx][(rx, sc)] = c64::new(real as f64, imag as f64);
+                index += 16;
+                remainder = index % 8;
+            }
+        }
+
+        // De-permute RF chains to physical antenna order. A non-bijective
+        // antenna_sel (possible in corrupt captures) falls back to
+        // identity rather than collapsing antennas.
+        let perm = effective_permutation(antenna_sel, nrx);
+        let depermuted: Vec<CMat> = streams
+            .iter()
+            .map(|s| {
+                let mut out = CMat::zeros(nrx, NUM_SUBCARRIERS);
+                for rx in 0..nrx {
+                    for sc in 0..NUM_SUBCARRIERS {
+                        out[(perm[rx], sc)] = s[(rx, sc)];
+                    }
+                }
+                out
+            })
+            .collect();
+
+        let mut iter = depermuted.into_iter();
+        let csi = iter.next().expect("ntx >= 1");
+        Ok(BfeeRecord {
+            timestamp_low,
+            bfee_count,
+            nrx: nrx as u8,
+            ntx: ntx as u8,
+            rssi_a,
+            rssi_b,
+            rssi_c,
+            noise,
+            agc,
+            antenna_sel,
+            rate,
+            csi,
+            extra_streams: iter.collect(),
+        })
+    }
+
+    /// Serializes the record to the byte layout [`parse`](Self::parse)
+    /// reads (not including the `0xBB` code). CSI components are clamped
+    /// to the i8 range, as the firmware would.
+    pub fn serialize(&self) -> Vec<u8> {
+        let nrx = self.nrx as usize;
+        let ntx = self.ntx as usize;
+        let len = Self::calc_payload_len(nrx, ntx);
+        let mut out = Vec::with_capacity(20 + len);
+        out.extend_from_slice(&self.timestamp_low.to_le_bytes());
+        out.extend_from_slice(&self.bfee_count.to_le_bytes());
+        out.extend_from_slice(&[0, 0]); // reserved
+        out.push(self.nrx);
+        out.push(self.ntx);
+        out.push(self.rssi_a);
+        out.push(self.rssi_b);
+        out.push(self.rssi_c);
+        out.push(self.noise as u8);
+        out.push(self.agc);
+        out.push(self.antenna_sel);
+        out.extend_from_slice(&(len as u16).to_le_bytes());
+        out.extend_from_slice(&self.rate.to_le_bytes());
+
+        // Re-permute back to RF-chain order before packing.
+        let perm = effective_permutation(self.antenna_sel, nrx);
+        let stream_at = |tx: usize| -> &CMat {
+            if tx == 0 {
+                &self.csi
+            } else {
+                &self.extra_streams[tx - 1]
+            }
+        };
+
+        let mut payload = vec![0u8; len + 2]; // slack for shifted writes
+        let mut index = 0usize;
+        for sc in 0..NUM_SUBCARRIERS {
+            index += 3;
+            let mut remainder = index % 8;
+            for j in 0..(nrx * ntx) {
+                let tx = j / nrx;
+                let rx = j % nrx;
+                let z = stream_at(tx)[(perm[rx], sc)];
+                let imag = z.im.round().clamp(-128.0, 127.0) as i8 as u8;
+                let real = z.re.round().clamp(-128.0, 127.0) as i8 as u8;
+                let byte = index / 8;
+                payload[byte] |= ((imag as u16) << remainder) as u8;
+                payload[byte + 1] |= ((imag as u16) >> (8 - remainder)) as u8;
+                payload[byte + 1] |= ((real as u16) << remainder) as u8;
+                payload[byte + 2] |= ((real as u16) >> (8 - remainder)) as u8;
+                index += 16;
+                remainder = index % 8;
+            }
+        }
+        payload.truncate(len);
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(nrx: u8, ntx: u8, antenna_sel: u8) -> BfeeRecord {
+        let csi = CMat::from_fn(nrx as usize, NUM_SUBCARRIERS, |r, c| {
+            c64::new(
+                ((r * 31 + c * 7) % 251) as f64 - 125.0,
+                ((r * 17 + c * 13) % 251) as f64 - 125.0,
+            )
+        });
+        let extra_streams = (1..ntx)
+            .map(|t| {
+                CMat::from_fn(nrx as usize, NUM_SUBCARRIERS, |r, c| {
+                    c64::new(
+                        ((t as usize * 41 + r * 5 + c) % 251) as f64 - 125.0,
+                        ((t as usize * 29 + r * 3 + c * 11) % 251) as f64 - 125.0,
+                    )
+                })
+            })
+            .collect();
+        BfeeRecord {
+            timestamp_low: 0xDEADBEEF,
+            bfee_count: 1234,
+            nrx,
+            ntx,
+            rssi_a: 40,
+            rssi_b: 38,
+            rssi_c: 41,
+            noise: -92,
+            agc: 30,
+            antenna_sel,
+            rate: 0x1234,
+            csi,
+            extra_streams,
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_stream() {
+        for antenna_sel in [0b100100u8, 0b000000, 0b011000] {
+            let rec = sample_record(3, 1, antenna_sel);
+            let bytes = rec.serialize();
+            let back = BfeeRecord::parse(&bytes).unwrap();
+            assert_eq!(back.timestamp_low, rec.timestamp_low);
+            assert_eq!(back.bfee_count, rec.bfee_count);
+            assert_eq!(back.noise, rec.noise);
+            assert_eq!(back.agc, rec.agc);
+            assert_eq!(back.rate, rec.rate);
+            assert!(
+                (&back.csi - &rec.csi).max_abs() < 1e-12,
+                "CSI round-trip failed for antenna_sel {:#b}",
+                antenna_sel
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_multi_stream() {
+        let rec = sample_record(3, 2, 0b100100);
+        let bytes = rec.serialize();
+        let back = BfeeRecord::parse(&bytes).unwrap();
+        assert_eq!(back.extra_streams.len(), 1);
+        assert!((&back.csi - &rec.csi).max_abs() < 1e-12);
+        assert!((&back.extra_streams[0] - &rec.extra_streams[0]).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_two_antennas() {
+        let rec = sample_record(2, 1, 0);
+        let back = BfeeRecord::parse(&rec.serialize()).unwrap();
+        assert!((&back.csi - &rec.csi).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn payload_length_formula_matches_reference() {
+        // Reference values from read_bfee.c for common configs.
+        assert_eq!(BfeeRecord::calc_payload_len(3, 1), (30 * (3 * 8 * 2 + 3) + 7) / 8);
+        assert_eq!(BfeeRecord::calc_payload_len(3, 1), 192);
+        assert_eq!(BfeeRecord::calc_payload_len(3, 2), 372);
+        assert_eq!(BfeeRecord::calc_payload_len(3, 3), 552);
+    }
+
+    #[test]
+    fn truncated_and_invalid_records_rejected() {
+        assert!(matches!(
+            BfeeRecord::parse(&[0u8; 10]),
+            Err(ParseError::TruncatedHeader { got: 10 })
+        ));
+        let rec = sample_record(3, 1, 0);
+        let mut bytes = rec.serialize();
+        bytes.truncate(50);
+        assert!(matches!(
+            BfeeRecord::parse(&bytes),
+            Err(ParseError::TruncatedPayload { .. })
+        ));
+        // Corrupt dimensions.
+        let mut bad = rec.serialize();
+        bad[8] = 5;
+        assert!(matches!(
+            BfeeRecord::parse(&bad),
+            Err(ParseError::BadDimensions { nrx: 5, .. })
+        ));
+        // Corrupt length field.
+        let mut bad2 = rec.serialize();
+        bad2[16] = 0xFF;
+        assert!(matches!(
+            BfeeRecord::parse(&bad2),
+            Err(ParseError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn total_rssi_matches_reference_formula() {
+        let rec = sample_record(3, 1, 0);
+        // Sum of three 10^(r/10) terms, then dB − 44 − agc.
+        let mag = 10f64.powf(4.0) + 10f64.powf(3.8) + 10f64.powf(4.1);
+        let expect = 10.0 * mag.log10() - 44.0 - 30.0;
+        assert!((rec.total_rssi_dbm() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permutation_decoding() {
+        let mut rec = sample_record(3, 1, 0);
+        rec.antenna_sel = 0b01_00_10; // perm = [2, 0, 1]
+        assert_eq!(rec.permutation(), [2, 0, 1]);
+    }
+
+    #[test]
+    fn clamps_out_of_range_components() {
+        let mut rec = sample_record(3, 1, 0);
+        rec.csi[(0, 0)] = c64::new(500.0, -500.0);
+        let back = BfeeRecord::parse(&rec.serialize()).unwrap();
+        assert_eq!(back.csi[(0, 0)], c64::new(127.0, -128.0));
+    }
+}

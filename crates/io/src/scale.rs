@@ -1,0 +1,163 @@
+//! Scaled CSI: absolute-scale channel estimates from raw records.
+//!
+//! The firmware reports CSI in arbitrary per-packet units (the AGC scales
+//! the ADC input). The reference `get_scaled_csi.m` converts raw CSI into
+//! channel estimates whose squared magnitude is in *linear power* units
+//! consistent with the reported RSSI:
+//!
+//! 1. compute the raw CSI power `Σ|csi|²`;
+//! 2. convert total RSSI (dBm) to linear power and derive the scale
+//!    `rssi_pwr / (csi_pwr / N_sub)`;
+//! 3. divide by the thermal-noise magnitude (reported `noise`, or −92 dBm
+//!    when unmeasured) and an SNR correction of √(Nrx · Ntx)·(Ntx scaling).
+//!
+//! SpotFi itself only uses relative CSI, but scaled CSI matters when
+//! mixing packets with different AGC states or comparing power across
+//! packets — and it keeps this reader drop-in compatible with pipelines
+//! built on the MATLAB tooling.
+
+use spotfi_math::CMat;
+
+use crate::bfee::BfeeRecord;
+
+/// Noise floor assumed when the NIC reports `noise == -127` (unmeasured),
+/// per the reference implementation.
+pub const DEFAULT_NOISE_DBM: f64 = -92.0;
+
+/// Converts a record's raw CSI into scaled CSI (first stream only).
+///
+/// Returns the scaled matrix; the total power of the result relates to the
+/// record's RSSI exactly as in `get_scaled_csi.m`.
+pub fn scaled_csi(record: &BfeeRecord) -> CMat {
+    let csi = &record.csi;
+    let n_elems = (csi.rows() * csi.cols()) as f64;
+
+    // Raw CSI power.
+    let csi_pwr: f64 = csi.as_slice().iter().map(|z| z.norm_sqr()).sum();
+    if csi_pwr <= 0.0 {
+        return csi.clone();
+    }
+
+    // RSSI in linear power (mW), with the AGC and −44 dB offsets removed.
+    let rssi_pwr = 10f64.powf(record.total_rssi_dbm() / 10.0);
+
+    // Scale so that mean per-subcarrier CSI power equals the RSSI power.
+    let scale = rssi_pwr / (csi_pwr / n_elems * csi.rows() as f64);
+
+    // Thermal noise floor.
+    let noise_db = if record.noise == -127 {
+        DEFAULT_NOISE_DBM
+    } else {
+        record.noise as f64
+    };
+    let thermal_noise_pwr = 10f64.powf(noise_db / 10.0);
+
+    // Quantization noise of the 8-bit CSI (reference: +4.5 dB below the
+    // total).
+    let quant_error_pwr = scale * csi.rows() as f64 * record.ntx as f64;
+    let total_noise_pwr = thermal_noise_pwr + quant_error_pwr;
+
+    let amp = (scale / total_noise_pwr).sqrt();
+    // Multi-stream transmissions split power across streams; the reference
+    // multiplies by √Ntx for Ntx = 2 and a 4.5 dB factor for Ntx = 3.
+    let stream_factor = match record.ntx {
+        2 => (2.0f64).sqrt(),
+        3 => 10f64.powf(4.5 / 20.0),
+        _ => 1.0,
+    };
+    csi.scale(spotfi_math::c64::real(amp * stream_factor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotfi_math::{c64, CMat};
+
+    fn record_with(csi_amp: f64, rssi: u8, agc: u8, noise: i8) -> BfeeRecord {
+        BfeeRecord {
+            timestamp_low: 0,
+            bfee_count: 0,
+            nrx: 3,
+            ntx: 1,
+            rssi_a: rssi,
+            rssi_b: 0,
+            rssi_c: 0,
+            noise,
+            agc,
+            antenna_sel: 0b100100,
+            rate: 0,
+            csi: CMat::from_fn(3, 30, |r, c| {
+                c64::from_polar(csi_amp, (r * 30 + c) as f64 * 0.1)
+            }),
+            extra_streams: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn matches_reference_formula() {
+        // Recompute get_scaled_csi.m by hand and compare.
+        let rec = record_with(25.0, 35, 28, -90);
+        let out = scaled_csi(&rec);
+        let csi_pwr: f64 = rec.csi.as_slice().iter().map(|z| z.norm_sqr()).sum();
+        let rssi_pwr = 10f64.powf(rec.total_rssi_dbm() / 10.0);
+        let scale = rssi_pwr / (csi_pwr / 30.0);
+        let total_noise = 10f64.powf(-90.0 / 10.0) + scale * 3.0;
+        let expect = (scale / total_noise).sqrt();
+        let got = out[(1, 7)].abs() / rec.csi[(1, 7)].abs();
+        assert!((got - expect).abs() < 1e-12 * expect, "{} vs {}", got, expect);
+    }
+
+    #[test]
+    fn quantization_limited_regime_divides_by_sqrt_chains() {
+        // When quantization noise dominates (strong RSSI), the reference
+        // formula reduces to csi / √(Nrx·Ntx): the scaled values express
+        // amplitude in units of the 8-bit quantization noise.
+        let rec = record_with(40.0, 45, 30, -92);
+        let out = scaled_csi(&rec);
+        let expect = 40.0 / 3f64.sqrt();
+        let got = out[(0, 0)].abs();
+        assert!(
+            (got - expect).abs() < 0.02 * expect,
+            "quant-limited amplitude {} vs {}",
+            got,
+            expect
+        );
+    }
+
+    #[test]
+    fn higher_rssi_gives_larger_scaled_csi_in_thermal_regime() {
+        // With weak links the thermal floor dominates and scaled amplitude
+        // grows as √rssi_pwr: 20 dB of RSSI ⇒ ~10× amplitude.
+        let weak = scaled_csi(&record_with(50.0, 1, 30, -80));
+        let strong = scaled_csi(&record_with(50.0, 21, 30, -80));
+        let ratio = strong.frobenius_norm() / weak.frobenius_norm();
+        assert!(ratio > 5.0 && ratio < 11.0, "ratio {}", ratio);
+    }
+
+    #[test]
+    fn unmeasured_noise_uses_default_floor() {
+        let a = scaled_csi(&record_with(50.0, 35, 30, -127));
+        let b = scaled_csi(&record_with(50.0, 35, 30, -92));
+        assert!((a.frobenius_norm() - b.frobenius_norm()).abs() < 1e-9 * b.frobenius_norm());
+    }
+
+    #[test]
+    fn phase_structure_preserved() {
+        let rec = record_with(30.0, 35, 25, -92);
+        let scaled = scaled_csi(&rec);
+        for n in 0..30 {
+            for m in 0..3 {
+                let d = (scaled[(m, n)].arg() - rec.csi[(m, n)].arg()).abs();
+                assert!(d < 1e-12, "phase changed at ({}, {})", m, n);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_csi_passthrough() {
+        let mut rec = record_with(0.0, 35, 25, -92);
+        rec.csi = CMat::zeros(3, 30);
+        let s = scaled_csi(&rec);
+        assert_eq!(s.max_abs(), 0.0);
+    }
+}

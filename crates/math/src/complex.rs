@@ -1,0 +1,447 @@
+//! Complex double-precision arithmetic.
+//!
+//! [`c64`] is a plain `Copy` struct of two `f64`s with the full set of
+//! arithmetic operators (complex×complex and complex×real in both orders),
+//! polar/exponential constructors, and the handful of transcendental
+//! functions the rest of the workspace needs.
+//!
+//! The lowercase type name mirrors the primitive-like role the type plays
+//! (analogous to `f64`).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// ```
+/// use spotfi_math::c64;
+///
+/// let z = c64::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!(z * z.conj(), c64::real(25.0));
+///
+/// // Unit phasors are the building block of steering vectors:
+/// let w = c64::cis(std::f64::consts::FRAC_PI_2);
+/// assert!((w - c64::I).abs() < 1e-15);
+/// ```
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct c64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl c64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: c64 = c64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: c64 = c64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: c64 = c64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        c64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        c64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{iθ}` — a unit phasor. This is the workhorse of steering-vector
+    /// construction throughout SpotFi.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        c64::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        c64::new(self.re, -self.im)
+    }
+
+    /// Magnitude (absolute value).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude; cheaper than [`abs`](Self::abs) when only ordering
+    /// or power matters.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        c64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        c64::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        c64::new(self.re / d, -self.im / d)
+    }
+
+    /// Integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return c64::ONE;
+        }
+        let mut base = if n < 0 { self.inv() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = c64::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        c64::new(self.re * s, self.im * s)
+    }
+
+    /// `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f64> for c64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        c64::real(re)
+    }
+}
+
+impl Neg for c64 {
+    type Output = c64;
+    #[inline]
+    fn neg(self) -> c64 {
+        c64::new(-self.re, -self.im)
+    }
+}
+
+impl Add for c64 {
+    type Output = c64;
+    #[inline]
+    fn add(self, rhs: c64) -> c64 {
+        c64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for c64 {
+    type Output = c64;
+    #[inline]
+    fn sub(self, rhs: c64) -> c64 {
+        c64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for c64 {
+    type Output = c64;
+    #[inline]
+    fn mul(self, rhs: c64) -> c64 {
+        c64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for c64 {
+    type Output = c64;
+    #[inline]
+    fn div(self, rhs: c64) -> c64 {
+        // Smith's algorithm avoids overflow for extreme component ratios.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            c64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            c64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Add<f64> for c64 {
+    type Output = c64;
+    #[inline]
+    fn add(self, rhs: f64) -> c64 {
+        c64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for c64 {
+    type Output = c64;
+    #[inline]
+    fn sub(self, rhs: f64) -> c64 {
+        c64::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for c64 {
+    type Output = c64;
+    #[inline]
+    fn mul(self, rhs: f64) -> c64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for c64 {
+    type Output = c64;
+    #[inline]
+    fn div(self, rhs: f64) -> c64 {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Add<c64> for f64 {
+    type Output = c64;
+    #[inline]
+    fn add(self, rhs: c64) -> c64 {
+        rhs + self
+    }
+}
+
+impl Sub<c64> for f64 {
+    type Output = c64;
+    #[inline]
+    fn sub(self, rhs: c64) -> c64 {
+        c64::new(self - rhs.re, -rhs.im)
+    }
+}
+
+impl Mul<c64> for f64 {
+    type Output = c64;
+    #[inline]
+    fn mul(self, rhs: c64) -> c64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<c64> for f64 {
+    type Output = c64;
+    #[inline]
+    fn div(self, rhs: c64) -> c64 {
+        c64::real(self) / rhs
+    }
+}
+
+impl AddAssign for c64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: c64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for c64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: c64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for c64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: c64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for c64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: c64) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for c64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl Sum for c64 {
+    fn sum<I: Iterator<Item = c64>>(iter: I) -> c64 {
+        iter.fold(c64::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a c64> for c64 {
+    fn sum<I: Iterator<Item = &'a c64>>(iter: I) -> c64 {
+        iter.fold(c64::ZERO, |a, b| a + *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: c64, b: c64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = c64::new(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = c64::from_polar(2.0, 1.25);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..100 {
+            let t = k as f64 * 0.17 - 8.0;
+            assert!((c64::cis(t).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = c64::new(1.5, -2.5);
+        let b = c64::new(-0.25, 3.0);
+        assert!(close(a + b - b, a));
+        assert!(close(a * b / b, a));
+        assert!(close(a * a.inv(), c64::ONE));
+        assert!(close(-(-a), a));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = c64::new(1.0, 2.0);
+        let b = c64::new(-3.0, 0.5);
+        assert!(close((a * b).conj(), a.conj() * b.conj()));
+        assert!(close(a * a.conj(), c64::real(a.norm_sqr())));
+    }
+
+    #[test]
+    fn division_extreme_ratios() {
+        // Smith's algorithm keeps this finite.
+        let a = c64::new(1e300, 1e-300);
+        let b = c64::new(1e300, 1e300);
+        let q = a / b;
+        assert!(q.is_finite());
+        assert!((q.re - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = c64::new(0.9, 0.2);
+        let mut acc = c64::ONE;
+        for n in 0..12 {
+            assert!(close(z.powi(n), acc));
+            acc *= z;
+        }
+        assert!(close(z.powi(-3), (z * z * z).inv()));
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_cis() {
+        let t = 0.73;
+        assert!(close(c64::new(0.0, t).exp(), c64::cis(t)));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -4.0)] {
+            let z = c64::new(re, im);
+            let r = z.sqrt();
+            assert!(close(r * r, z));
+        }
+    }
+
+    #[test]
+    fn mixed_real_ops() {
+        let z = c64::new(2.0, -1.0);
+        assert!(close(z * 2.0, c64::new(4.0, -2.0)));
+        assert!(close(2.0 * z, z * 2.0));
+        assert!(close(z + 1.0, c64::new(3.0, -1.0)));
+        assert!(close(1.0 - z, c64::new(-1.0, 1.0)));
+        assert!(close(z / 2.0, c64::new(1.0, -0.5)));
+        assert!(close(1.0 / z, z.inv()));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = [c64::new(1.0, 1.0), c64::new(2.0, -3.0), c64::new(-1.0, 0.5)];
+        let s: c64 = v.iter().sum();
+        assert!(close(s, c64::new(2.0, -1.5)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", c64::new(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{}", c64::new(1.0, -2.0)), "1-2i");
+    }
+}

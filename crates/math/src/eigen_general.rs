@@ -1,0 +1,391 @@
+//! Eigendecomposition of small general (non-Hermitian) complex matrices.
+//!
+//! ESPRIT's rotation operator `Ψ = E₁⁺·E₂` is a general complex L×L matrix
+//! (L ≤ 8 here) whose eigenvalues are the unit phasors `Ω(τ_k)` / `Φ(θ_k)`
+//! and whose eigenvectors pair the two parameter sets. We implement the
+//! classical dense route:
+//!
+//! 1. Householder reduction to upper Hessenberg form;
+//! 2. shifted QR iterations (Wilkinson shift) with Givens rotations,
+//!    deflating converged eigenvalues off the bottom;
+//! 3. eigenvectors by inverse iteration on the original matrix.
+//!
+//! At these sizes the whole decomposition costs microseconds and numerical
+//! stability is generous.
+
+use crate::complex::c64;
+use crate::linsolve::solve;
+use crate::matrix::CMat;
+
+/// Maximum QR sweeps per eigenvalue before declaring non-convergence.
+const MAX_ITER_PER_EIGENVALUE: usize = 60;
+
+/// Computes all eigenvalues of a square complex matrix. Order is
+/// unspecified. Returns `None` if the QR iteration fails to converge
+/// (non-finite input).
+pub fn general_eigenvalues(a: &CMat) -> Option<Vec<c64>> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "eigenvalues need a square matrix");
+    if !a.as_slice().iter().all(|z| z.is_finite()) {
+        return None;
+    }
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    if n == 1 {
+        return Some(vec![a[(0, 0)]]);
+    }
+
+    let mut h = hessenberg(a);
+    let mut eigs = Vec::with_capacity(n);
+    let mut hi = n; // active block is 0..hi
+    let mut iters = 0usize;
+    let scale = a.max_abs().max(1.0);
+
+    while hi > 0 {
+        if hi == 1 {
+            eigs.push(h[(0, 0)]);
+            break;
+        }
+        // Deflation check on the last subdiagonal of the active block.
+        let sub = h[(hi - 1, hi - 2)].abs();
+        let local = h[(hi - 1, hi - 1)].abs() + h[(hi - 2, hi - 2)].abs();
+        if sub <= 1e-14 * local.max(scale) {
+            eigs.push(h[(hi - 1, hi - 1)]);
+            hi -= 1;
+            iters = 0;
+            continue;
+        }
+        if hi == 2 {
+            // Solve the trailing 2×2 directly.
+            let (l1, l2) = eig2(
+                h[(0, 0)],
+                h[(0, 1)],
+                h[(1, 0)],
+                h[(1, 1)],
+            );
+            eigs.push(l1);
+            eigs.push(l2);
+            break;
+        }
+
+        iters += 1;
+        if iters > MAX_ITER_PER_EIGENVALUE {
+            return None;
+        }
+
+        // Wilkinson shift from the trailing 2×2 of the active block.
+        let (l1, l2) = eig2(
+            h[(hi - 2, hi - 2)],
+            h[(hi - 2, hi - 1)],
+            h[(hi - 1, hi - 2)],
+            h[(hi - 1, hi - 1)],
+        );
+        let t = h[(hi - 1, hi - 1)];
+        let shift = if (l1 - t).abs() < (l2 - t).abs() { l1 } else { l2 };
+
+        // One implicit QR sweep on the active block: H ← Qᴴ(H−σI)… via
+        // explicit Givens QR of (H − σI), then RQ + σI.
+        qr_step(&mut h, hi, shift);
+    }
+
+    debug_assert_eq!(eigs.len(), n);
+    Some(eigs)
+}
+
+/// Eigen-pairs of a square complex matrix: `(values, vectors)` with the
+/// `k`-th column of `vectors` the (unit-norm) eigenvector of `values[k]`.
+/// Vectors are obtained by inverse iteration; for (near-)defective matrices
+/// the returned vectors may be linearly dependent.
+pub fn general_eigen(a: &CMat) -> Option<(Vec<c64>, CMat)> {
+    let n = a.rows();
+    let values = general_eigenvalues(a)?;
+    let mut vectors = CMat::zeros(n, n);
+    for (k, &lam) in values.iter().enumerate() {
+        let v = inverse_iteration(a, lam)?;
+        for r in 0..n {
+            vectors[(r, k)] = v[r];
+        }
+    }
+    Some((values, vectors))
+}
+
+/// Householder reduction to upper Hessenberg form (similarity transform).
+fn hessenberg(a: &CMat) -> CMat {
+    let n = a.rows();
+    let mut h = a.clone();
+    for k in 0..n.saturating_sub(2) {
+        // Build the Householder vector for column k below the subdiagonal.
+        let mut x: Vec<c64> = (k + 1..n).map(|r| h[(r, k)]).collect();
+        let norm_x = x.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm_x < 1e-300 {
+            continue;
+        }
+        // α = −e^{i·arg(x₀)}·‖x‖ keeps v₀ large (stability).
+        let phase = if x[0].abs() > 0.0 {
+            x[0] / x[0].abs()
+        } else {
+            c64::ONE
+        };
+        let alpha = -phase.scale(norm_x);
+        x[0] -= alpha;
+        let vnorm = x.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if vnorm < 1e-300 {
+            continue;
+        }
+        let v: Vec<c64> = x.iter().map(|z| z.scale(1.0 / vnorm)).collect();
+
+        // H ← (I − 2vvᴴ)·H (rows k+1..n).
+        for c in 0..n {
+            let mut dot = c64::ZERO;
+            for (i, vi) in v.iter().enumerate() {
+                dot += vi.conj() * h[(k + 1 + i, c)];
+            }
+            let dot2 = dot.scale(2.0);
+            for (i, vi) in v.iter().enumerate() {
+                let d = *vi * dot2;
+                h[(k + 1 + i, c)] -= d;
+            }
+        }
+        // H ← H·(I − 2vvᴴ) (cols k+1..n).
+        for r in 0..n {
+            let mut dot = c64::ZERO;
+            for (i, vi) in v.iter().enumerate() {
+                dot += h[(r, k + 1 + i)] * *vi;
+            }
+            let dot2 = dot.scale(2.0);
+            for (i, vi) in v.iter().enumerate() {
+                let d = dot2 * vi.conj();
+                h[(r, k + 1 + i)] -= d;
+            }
+        }
+        // Clean the annihilated entries.
+        for r in (k + 2)..n {
+            h[(r, k)] = c64::ZERO;
+        }
+    }
+    h
+}
+
+/// One explicit shifted QR step on the leading `hi × hi` block of the
+/// Hessenberg matrix: `H ← R·Q + σI` where `Q·R = H − σI`.
+fn qr_step(h: &mut CMat, hi: usize, shift: c64) {
+    // Shift.
+    for i in 0..hi {
+        h[(i, i)] -= shift;
+    }
+    // QR by Givens rotations on the subdiagonal; remember rotations.
+    let mut rotations: Vec<(usize, c64, c64)> = Vec::with_capacity(hi - 1);
+    for k in 0..(hi - 1) {
+        let a = h[(k, k)];
+        let b = h[(k + 1, k)];
+        let r = (a.norm_sqr() + b.norm_sqr()).sqrt();
+        if r < 1e-300 {
+            rotations.push((k, c64::ONE, c64::ZERO));
+            continue;
+        }
+        let c = a.scale(1.0 / r); // note: complex "cosine"
+        let s = b.scale(1.0 / r);
+        // Apply Gᴴ to rows k, k+1: [cᴴ sᴴ; −s c]… using unitary
+        // G = [[c, −s̄],[s, c̄]] annihilating b: Gᴴ·[a; b] = [r; 0].
+        for col in k..hi {
+            let x = h[(k, col)];
+            let y = h[(k + 1, col)];
+            h[(k, col)] = c.conj() * x + s.conj() * y;
+            h[(k + 1, col)] = c * y - s * x;
+        }
+        rotations.push((k, c, s));
+    }
+    // H ← R·Q: apply the rotations on the right.
+    for &(k, c, s) in &rotations {
+        for row in 0..=(k + 1).min(hi - 1) {
+            let x = h[(row, k)];
+            let y = h[(row, k + 1)];
+            h[(row, k)] = x * c + y * s;
+            h[(row, k + 1)] = y * c.conj() - x * s.conj();
+        }
+    }
+    // Unshift.
+    for i in 0..hi {
+        h[(i, i)] += shift;
+    }
+}
+
+/// Eigenvalues of a complex 2×2 `[[a, b], [c, d]]`.
+fn eig2(a: c64, b: c64, c: c64, d: c64) -> (c64, c64) {
+    let tr = a + d;
+    let det = a * d - b * c;
+    let disc = (tr * tr - det.scale(4.0)).sqrt();
+    let l1 = (tr + disc).scale(0.5);
+    let l2 = (tr - disc).scale(0.5);
+    (l1, l2)
+}
+
+/// Inverse iteration: eigenvector for a (computed) eigenvalue.
+fn inverse_iteration(a: &CMat, lam: c64) -> Option<Vec<c64>> {
+    let n = a.rows();
+    // (A − λI + ε·I) with a tiny regularizer so the solve is well-posed.
+    let eps = 1e-10 * a.max_abs().max(1.0);
+    let mut shifted = a.clone();
+    for i in 0..n {
+        shifted[(i, i)] -= lam + c64::new(eps, eps);
+    }
+    // Deterministic start vector.
+    let mut v: Vec<c64> = (0..n)
+        .map(|i| c64::new(1.0 + i as f64 * 0.3, 0.7 - i as f64 * 0.1))
+        .collect();
+    normalize(&mut v);
+    for _ in 0..4 {
+        let b = CMat::col_vector(&v);
+        let x = solve(&shifted, &b)?;
+        v = x.col(0).to_vec();
+        normalize(&mut v);
+    }
+    Some(v)
+}
+
+fn normalize(v: &mut [c64]) {
+    let n = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    if n > 0.0 {
+        for z in v.iter_mut() {
+            *z = z.scale(1.0 / n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linsolve::determinant;
+
+    fn rand_mat(n: usize, seed: u64) -> CMat {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        CMat::from_fn(n, n, |_, _| c64::new(next(), next()))
+    }
+
+    fn sort_by_abs(mut v: Vec<c64>) -> Vec<c64> {
+        v.sort_by(|a, b| {
+            (a.abs(), a.arg())
+                .partial_cmp(&(b.abs(), b.arg()))
+                .unwrap()
+        });
+        v
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut a = CMat::zeros(3, 3);
+        a[(0, 0)] = c64::new(1.0, 2.0);
+        a[(1, 1)] = c64::new(-3.0, 0.5);
+        a[(2, 2)] = c64::new(0.0, -1.0);
+        let got = sort_by_abs(general_eigenvalues(&a).unwrap());
+        let want = sort_by_abs(vec![a[(0, 0)], a[(1, 1)], a[(2, 2)]]);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g - *w).abs() < 1e-10, "{} vs {}", g, w);
+        }
+    }
+
+    #[test]
+    fn unitary_phasor_matrix() {
+        // The ESPRIT case: a matrix similar to diag of unit phasors.
+        let phases = [0.3f64, -1.2, 2.4, 0.9];
+        let mut d = CMat::zeros(4, 4);
+        for (i, &p) in phases.iter().enumerate() {
+            d[(i, i)] = c64::cis(p);
+        }
+        let t = rand_mat(4, 5);
+        let t_inv_d = solve(&t, &d.mul(&t)).expect("similar transform"); // T⁻¹·D·T
+        let got = general_eigenvalues(&t_inv_d).unwrap();
+        // All eigenvalues on the unit circle at the given phases.
+        let mut got_phases: Vec<f64> = got.iter().map(|z| z.arg()).collect();
+        got_phases.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut want = phases.to_vec();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, w) in got_phases.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-8, "phase {} vs {}", g, w);
+        }
+        for z in &got {
+            assert!((z.abs() - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn trace_and_determinant_invariants() {
+        for seed in [1u64, 2, 3, 4] {
+            for n in [2usize, 3, 5, 8] {
+                let a = rand_mat(n, seed * 31 + n as u64);
+                let eigs = general_eigenvalues(&a).unwrap();
+                assert_eq!(eigs.len(), n);
+                let sum: c64 = eigs.iter().copied().sum();
+                let tr: c64 = (0..n).map(|i| a[(i, i)]).sum();
+                assert!(
+                    (sum - tr).abs() < 1e-8 * tr.abs().max(1.0),
+                    "trace mismatch: {} vs {}",
+                    sum,
+                    tr
+                );
+                let prod = eigs.iter().fold(c64::ONE, |acc, &l| acc * l);
+                let det = determinant(&a);
+                assert!(
+                    (prod - det).abs() < 1e-7 * det.abs().max(1.0),
+                    "det mismatch: {} vs {}",
+                    prod,
+                    det
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let a = rand_mat(5, 77);
+        let (values, vectors) = general_eigen(&a).unwrap();
+        for k in 0..5 {
+            let v = vectors.col(k);
+            let av = a.mul_vec(v);
+            for r in 0..5 {
+                let expect = v[r] * values[k];
+                assert!(
+                    (av[r] - expect).abs() < 1e-6,
+                    "A·v ≠ λ·v at eigenpair {} row {}",
+                    k,
+                    r
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_agrees_with_jacobi() {
+        let g = rand_mat(6, 9);
+        let h = g.mul_hermitian_self();
+        let qr = sort_by_abs(general_eigenvalues(&h).unwrap());
+        let jac = crate::eigen::hermitian_eigen(&h);
+        let mut jv: Vec<f64> = jac.values.clone();
+        jv.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (q, j) in qr.iter().zip(&jv) {
+            assert!(q.im.abs() < 1e-8, "Hermitian eigenvalue not real: {}", q);
+            assert!((q.re - j).abs() < 1e-7 * j.abs().max(1.0), "{} vs {}", q.re, j);
+        }
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        assert!(general_eigenvalues(&CMat::zeros(0, 0)).unwrap().is_empty());
+        let one = CMat::from_rows(&[&[c64::new(2.0, -1.0)]]);
+        assert_eq!(general_eigenvalues(&one).unwrap(), vec![c64::new(2.0, -1.0)]);
+    }
+
+    #[test]
+    fn nan_input_rejected() {
+        let mut a = rand_mat(3, 1);
+        a[(1, 1)] = c64::new(f64::NAN, 0.0);
+        assert!(general_eigenvalues(&a).is_none());
+    }
+}

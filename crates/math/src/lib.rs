@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # spotfi-math
+//!
+//! Numerics substrate for the SpotFi localization system.
+//!
+//! SpotFi's signal processing is small-scale but numerically delicate: it
+//! eigendecomposes 30×30 complex Hermitian matrices, fits linear models to
+//! unwrapped phase, clusters parameter estimates, and solves a non-convex
+//! weighted least-squares localization problem. This crate provides exactly
+//! those primitives, implemented from scratch so the workspace has no
+//! external linear-algebra dependencies:
+//!
+//! * [`c64`] — a complex double with full arithmetic ([`complex`]).
+//! * [`CMat`] — dense column-major complex matrices ([`matrix`]).
+//! * [`eigen`] — complex Hermitian eigendecomposition via cyclic Jacobi.
+//! * [`realmat`] — small real matrices, linear solves, least squares.
+//! * [`unwrap`] — 1-D phase unwrapping.
+//! * [`optimize`] — golden section, Nelder–Mead, damped Gauss–Newton.
+//! * [`stats`] — means, variances, percentiles, empirical CDFs.
+//! * [`angles`] — degree/radian conversions and angular wrapping.
+//!
+//! Everything is deterministic and allocation-light; matrices the size SpotFi
+//! uses (≤ 90×90) decompose in microseconds.
+
+pub mod angles;
+pub mod complex;
+pub mod eigen;
+pub mod eigen_general;
+pub mod linsolve;
+pub mod matrix;
+pub mod optimize;
+pub mod realmat;
+pub mod stats;
+pub mod unwrap;
+
+pub use angles::{deg_to_rad, rad_to_deg, wrap_pi};
+pub use complex::c64;
+pub use eigen::{hermitian_eigen, HermitianEigen};
+pub use eigen_general::{general_eigen, general_eigenvalues};
+pub use linsolve::{lstsq as complex_lstsq, solve as complex_solve};
+pub use matrix::CMat;
+pub use realmat::RMat;

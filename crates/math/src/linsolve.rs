@@ -1,0 +1,184 @@
+//! Complex linear solves and least squares.
+//!
+//! ESPRIT needs `Ψ = E₁⁺·E₂` — the least-squares solution of an
+//! overdetermined complex system. This module provides Gaussian elimination
+//! with partial pivoting over [`c64`] and the normal-equations
+//! pseudo-inverse built on it.
+
+use crate::complex::c64;
+use crate::matrix::CMat;
+
+/// Solves `A·X = B` for square complex `A` by Gaussian elimination with
+/// partial (magnitude) pivoting. Returns `None` if `A` is numerically
+/// singular.
+pub fn solve(a: &CMat, b: &CMat) -> Option<CMat> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "solve requires a square matrix");
+    assert_eq!(n, b.rows(), "rhs row mismatch");
+    let m = b.cols();
+
+    // Augmented row-major working copy.
+    let mut w: Vec<Vec<c64>> = (0..n)
+        .map(|r| {
+            (0..n)
+                .map(|c| a[(r, c)])
+                .chain((0..m).map(|c| b[(r, c)]))
+                .collect()
+        })
+        .collect();
+
+    let scale = a.max_abs().max(1.0);
+    for k in 0..n {
+        // Pivot on the largest magnitude in column k.
+        let (piv, mag) = (k..n)
+            .map(|r| (r, w[r][k].abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())?;
+        if mag < 1e-13 * scale {
+            return None;
+        }
+        w.swap(k, piv);
+        let inv = w[k][k].inv();
+        for r in (k + 1)..n {
+            let f = w[r][k] * inv;
+            if f == c64::ZERO {
+                continue;
+            }
+            for c in k..(n + m) {
+                let v = w[k][c];
+                w[r][c] -= f * v;
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = CMat::zeros(n, m);
+    for rhs in 0..m {
+        for k in (0..n).rev() {
+            let mut s = w[k][n + rhs];
+            for c in (k + 1)..n {
+                s -= w[k][c] * x[(c, rhs)];
+            }
+            x[(k, rhs)] = s * w[k][k].inv();
+        }
+    }
+    Some(x)
+}
+
+/// Least-squares solution of `A·X ≈ B` for tall `A` via the normal
+/// equations `(AᴴA)·X = AᴴB`. Adequate for ESPRIT's well-conditioned
+/// signal-subspace blocks.
+pub fn lstsq(a: &CMat, b: &CMat) -> Option<CMat> {
+    let ah = a.hermitian();
+    solve(&ah.mul(a), &ah.mul(b))
+}
+
+/// Determinant by elimination (used by tests to validate eigenvalues).
+pub fn determinant(a: &CMat) -> c64 {
+    let n = a.rows();
+    assert_eq!(n, a.cols());
+    let mut w: Vec<Vec<c64>> = (0..n).map(|r| (0..n).map(|c| a[(r, c)]).collect()).collect();
+    let mut det = c64::ONE;
+    for k in 0..n {
+        let (piv, mag) = (k..n)
+            .map(|r| (r, w[r][k].abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+            .unwrap();
+        if mag == 0.0 {
+            return c64::ZERO;
+        }
+        if piv != k {
+            w.swap(k, piv);
+            det = -det;
+        }
+        det *= w[k][k];
+        let inv = w[k][k].inv();
+        for r in (k + 1)..n {
+            let f = w[r][k] * inv;
+            for c in k..n {
+                let v = w[k][c];
+                w[r][c] -= f * v;
+            }
+        }
+    }
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(n: usize, m: usize, seed: u64) -> CMat {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        CMat::from_fn(n, m, |_, _| c64::new(next(), next()))
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = rand_mat(5, 5, 3);
+        let x_true = rand_mat(5, 2, 7);
+        let b = a.mul(&x_true);
+        let x = solve(&a, &b).unwrap();
+        assert!((&x - &x_true).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_identity() {
+        let a = CMat::identity(4);
+        let b = rand_mat(4, 3, 9);
+        let x = solve(&a, &b).unwrap();
+        assert!((&x - &b).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let mut a = rand_mat(4, 4, 5);
+        // Make row 3 a copy of row 0.
+        for c in 0..4 {
+            let v = a[(0, c)];
+            a[(3, c)] = v;
+        }
+        let b = rand_mat(4, 1, 6);
+        assert!(solve(&a, &b).is_none());
+    }
+
+    #[test]
+    fn lstsq_exact_for_consistent_systems() {
+        let a = rand_mat(8, 3, 11);
+        let x_true = rand_mat(3, 2, 13);
+        let b = a.mul(&x_true);
+        let x = lstsq(&a, &b).unwrap();
+        assert!((&x - &x_true).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal() {
+        // Normal equations ⇒ Aᴴ·(A·X − B) = 0.
+        let a = rand_mat(8, 3, 17);
+        let b = rand_mat(8, 2, 19);
+        let x = lstsq(&a, &b).unwrap();
+        let resid = &a.mul(&x) - &b;
+        let g = a.hermitian().mul(&resid);
+        assert!(g.max_abs() < 1e-9, "gradient {}", g.max_abs());
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = CMat::from_rows(&[
+            &[c64::real(2.0), c64::real(1.0)],
+            &[c64::real(1.0), c64::real(2.0)],
+        ]);
+        assert!((determinant(&a) - c64::real(3.0)).abs() < 1e-12);
+        assert!((determinant(&CMat::identity(6)) - c64::ONE).abs() < 1e-12);
+        // det of product = product of dets.
+        let p = rand_mat(4, 4, 21);
+        let q = rand_mat(4, 4, 23);
+        let lhs = determinant(&p.mul(&q));
+        let rhs = determinant(&p) * determinant(&q);
+        assert!((lhs - rhs).abs() < 1e-9 * rhs.abs().max(1.0));
+    }
+}

@@ -1,0 +1,456 @@
+//! Dense complex matrices.
+//!
+//! [`CMat`] is a column-major dense matrix of [`c64`] sized for SpotFi's
+//! workloads (CSI matrices are 3×30, smoothed CSI is 30×30). It provides the
+//! operations the MUSIC pipeline needs: products, Hermitian transpose,
+//! `X·Xᴴ`, column access, and norms. Indexing is `(row, col)`.
+
+use crate::complex::c64;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, column-major complex matrix.
+///
+/// ```
+/// use spotfi_math::{c64, CMat};
+///
+/// let x = CMat::from_rows(&[
+///     &[c64::ONE, c64::I],
+///     &[c64::ZERO, c64::real(2.0)],
+/// ]);
+/// let h = x.hermitian();
+/// assert_eq!(h[(1, 0)], c64::new(0.0, -1.0));
+///
+/// // X·Xᴴ is always Hermitian — the matrix MUSIC eigendecomposes.
+/// assert!(x.mul_hermitian_self().is_hermitian(1e-12));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    /// Column-major storage: element `(r, c)` lives at `c * rows + r`.
+    data: Vec<c64>,
+}
+
+impl CMat {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![c64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = c64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> c64) -> Self {
+        let mut m = CMat::zeros(rows, cols);
+        for c in 0..cols {
+            for r in 0..rows {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major slices (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: &[&[c64]]) -> Self {
+        let nr = rows.len();
+        let nc = if nr == 0 { 0 } else { rows[0].len() };
+        assert!(rows.iter().all(|r| r.len() == nc), "ragged rows");
+        CMat::from_fn(nr, nc, |r, c| rows[r][c])
+    }
+
+    /// Builds a single-column matrix from a vector.
+    pub fn col_vector(v: &[c64]) -> Self {
+        CMat {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Raw column-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[c64] {
+        &self.data
+    }
+
+    /// A column as a slice (contiguous thanks to column-major layout).
+    #[inline]
+    pub fn col(&self, c: usize) -> &[c64] {
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Mutable access to a column.
+    #[inline]
+    pub fn col_mut(&mut self, c: usize) -> &mut [c64] {
+        &mut self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Copies a row out (rows are strided).
+    pub fn row(&self, r: usize) -> Vec<c64> {
+        (0..self.cols).map(|c| self[(r, c)]).collect()
+    }
+
+    /// Plain transpose (no conjugation).
+    pub fn transpose(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Hermitian (conjugate) transpose `Aᴴ`.
+    pub fn hermitian(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Element-wise conjugate.
+    pub fn conj(&self) -> CMat {
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Scales every element by a complex factor.
+    pub fn scale(&self, s: c64) -> CMat {
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| *z * s).collect(),
+        }
+    }
+
+    /// `A·Aᴴ` — the (unnormalized) covariance of the columns. This is the
+    /// matrix MUSIC eigendecomposes; computing it directly halves the work
+    /// versus `a.mul(&a.hermitian())` and guarantees an exactly Hermitian
+    /// result.
+    pub fn mul_hermitian_self(&self) -> CMat {
+        let n = self.rows;
+        let mut out = CMat::zeros(n, n);
+        for c in 0..self.cols {
+            let col = self.col(c);
+            for j in 0..n {
+                let cj = col[j].conj();
+                // Fill the lower triangle (i >= j) then mirror.
+                for i in j..n {
+                    out[(i, j)] += col[i] * cj;
+                }
+            }
+        }
+        for j in 0..n {
+            // Exact Hermitian symmetry: mirror the lower triangle.
+            out[(j, j)] = c64::real(out[(j, j)].re);
+            for i in (j + 1)..n {
+                out[(j, i)] = out[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn mul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix product dimension mismatch: {}×{} · {}×{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        for c in 0..rhs.cols {
+            let rcol = rhs.col(c);
+            let ocol = c * self.rows;
+            for k in 0..self.cols {
+                let f = rcol[k];
+                if f == c64::ZERO {
+                    continue;
+                }
+                let scol = &self.data[k * self.rows..(k + 1) * self.rows];
+                for r in 0..self.rows {
+                    out.data[ocol + r] += scol[r] * f;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    pub fn mul_vec(&self, v: &[c64]) -> Vec<c64> {
+        assert_eq!(self.cols, v.len(), "matrix–vector dimension mismatch");
+        let mut out = vec![c64::ZERO; self.rows];
+        for k in 0..self.cols {
+            let f = v[k];
+            let scol = self.col(k);
+            for r in 0..self.rows {
+                out[r] += scol[r] * f;
+            }
+        }
+        out
+    }
+
+    /// `vᴴ · self · v` for a vector `v` — the quadratic form at the heart of
+    /// the MUSIC pseudospectrum denominator. Returns the (theoretically real
+    /// for Hermitian `self`) complex value.
+    pub fn quadratic_form(&self, v: &[c64]) -> c64 {
+        let av = self.mul_vec(v);
+        v.iter()
+            .zip(av.iter())
+            .map(|(x, y)| x.conj() * *y)
+            .sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest element magnitude.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// `true` if `‖A − Aᴴ‖∞ ≤ tol` element-wise.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for c in 0..self.cols {
+            for r in 0..=c {
+                if (self[(r, c)] - self[(c, r)].conj()).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Extracts the sub-matrix with the given row/column index lists. Used by
+    /// the smoothed-CSI construction to pull shifted sensor subarrays.
+    pub fn select(&self, row_idx: &[usize], col_idx: &[usize]) -> CMat {
+        CMat::from_fn(row_idx.len(), col_idx.len(), |r, c| {
+            self[(row_idx[r], col_idx[c])]
+        })
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = c64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &c64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[c * self.rows + r]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut c64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[c * self.rows + r]
+    }
+}
+
+impl Add for &CMat {
+    type Output = CMat;
+    fn add(self, rhs: &CMat) -> CMat {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add shape mismatch");
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMat {
+    type Output = CMat;
+    fn sub(self, rhs: &CMat) -> CMat {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub shape mismatch");
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for &CMat {
+    type Output = CMat;
+    fn mul(self, rhs: &CMat) -> CMat {
+        self.mul(rhs)
+    }
+}
+
+impl fmt::Debug for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMat {}×{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:?}  ", self[(r, c)])?;
+            }
+            if self.cols > 8 {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2(a: f64, b: f64, c: f64, d: f64) -> CMat {
+        CMat::from_rows(&[
+            &[c64::real(a), c64::real(b)],
+            &[c64::real(c), c64::real(d)],
+        ])
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        let i = CMat::identity(2);
+        assert_eq!(a.mul(&i), a);
+        assert_eq!(i.mul(&a), a);
+    }
+
+    #[test]
+    fn product_known_values() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        let b = m2(5.0, 6.0, 7.0, 8.0);
+        let ab = a.mul(&b);
+        assert_eq!(ab, m2(19.0, 22.0, 43.0, 50.0));
+    }
+
+    #[test]
+    fn complex_product() {
+        let a = CMat::from_rows(&[&[c64::I, c64::ONE]]);
+        let b = CMat::from_rows(&[&[c64::I], &[c64::ONE]]);
+        let ab = a.mul(&b); // i*i + 1*1 = 0
+        assert!(ab[(0, 0)].abs() < 1e-15);
+    }
+
+    #[test]
+    fn hermitian_transpose() {
+        let a = CMat::from_rows(&[&[c64::new(1.0, 2.0), c64::new(3.0, -1.0)]]);
+        let h = a.hermitian();
+        assert_eq!(h.shape(), (2, 1));
+        assert_eq!(h[(0, 0)], c64::new(1.0, -2.0));
+        assert_eq!(h[(1, 0)], c64::new(3.0, 1.0));
+    }
+
+    #[test]
+    fn xxh_matches_explicit_product() {
+        let x = CMat::from_fn(4, 7, |r, c| {
+            c64::new((r * c) as f64 * 0.3 - 1.0, (r + c) as f64 * 0.2)
+        });
+        let fast = x.mul_hermitian_self();
+        let slow = x.mul(&x.hermitian());
+        assert_eq!(fast.shape(), (4, 4));
+        let d = (&fast - &slow).max_abs();
+        assert!(d < 1e-12, "difference {}", d);
+        assert!(fast.is_hermitian(1e-14));
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = CMat::from_fn(3, 3, |r, c| c64::new(r as f64 + 1.0, c as f64 - 1.0));
+        let v = vec![c64::new(1.0, 0.0), c64::new(0.0, 1.0), c64::new(-1.0, 2.0)];
+        let mv = a.mul_vec(&v);
+        let mm = a.mul(&CMat::col_vector(&v));
+        for r in 0..3 {
+            assert!((mv[r] - mm[(r, 0)]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn quadratic_form_real_for_hermitian() {
+        let x = CMat::from_fn(3, 5, |r, c| c64::cis(r as f64 * 0.7 + c as f64 * 1.3));
+        let h = x.mul_hermitian_self();
+        let v = vec![c64::new(0.3, 0.4), c64::new(-1.0, 0.1), c64::new(0.0, 2.0)];
+        let q = h.quadratic_form(&v);
+        assert!(q.im.abs() < 1e-10);
+        assert!(q.re >= -1e-12, "Hermitian PSD quadratic form must be ≥ 0");
+    }
+
+    #[test]
+    fn select_submatrix() {
+        let a = CMat::from_fn(4, 4, |r, c| c64::real((r * 10 + c) as f64));
+        let s = a.select(&[1, 3], &[0, 2]);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s[(0, 0)].re, 10.0);
+        assert_eq!(s[(0, 1)].re, 12.0);
+        assert_eq!(s[(1, 0)].re, 30.0);
+        assert_eq!(s[(1, 1)].re, 32.0);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = m2(3.0, 0.0, 0.0, 4.0);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn col_access_is_contiguous() {
+        let a = CMat::from_fn(3, 2, |r, c| c64::real((c * 3 + r) as f64));
+        assert_eq!(a.col(1)[0].re, 3.0);
+        assert_eq!(a.col(1)[2].re, 5.0);
+        assert_eq!(a.row(1), vec![c64::real(1.0), c64::real(4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_product_panics() {
+        let a = CMat::zeros(2, 3);
+        let b = CMat::zeros(2, 3);
+        let _ = a.mul(&b);
+    }
+}

@@ -1,0 +1,336 @@
+//! Small real matrices, linear solves, and least squares.
+//!
+//! SpotFi's real-valued numerics are tiny: the ToF-sanitization linear fit is
+//! a 2-parameter regression, and each Gauss–Newton step of the localization
+//! solver solves a 2×2 or 4×4 normal system. [`RMat`] keeps these solvers
+//! dependency-free; [`lstsq`] and [`linear_fit`] are the public entry points.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, column-major real matrix.
+#[derive(Clone, PartialEq)]
+pub struct RMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl RMat {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RMat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = RMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = RMat::zeros(rows, cols);
+        for c in 0..cols {
+            for r in 0..rows {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds from row-major slices.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nr = rows.len();
+        let nc = if nr == 0 { 0 } else { rows[0].len() };
+        assert!(rows.iter().all(|r| r.len() == nc), "ragged rows");
+        RMat::from_fn(nr, nc, |r, c| rows[r][c])
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> RMat {
+        RMat::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Matrix product.
+    pub fn mul(&self, rhs: &RMat) -> RMat {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = RMat::zeros(self.rows, rhs.cols);
+        for c in 0..rhs.cols {
+            for k in 0..self.cols {
+                let f = rhs[(k, c)];
+                if f == 0.0 {
+                    continue;
+                }
+                for r in 0..self.rows {
+                    out[(r, c)] += self[(r, k)] * f;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for k in 0..self.cols {
+            for r in 0..self.rows {
+                out[r] += self[(r, k)] * v[k];
+            }
+        }
+        out
+    }
+
+    /// `AᵀA` (symmetric, for normal equations).
+    pub fn gram(&self) -> RMat {
+        let n = self.cols;
+        let mut out = RMat::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self[(r, i)] * self[(r, j)];
+                }
+                out[(i, j)] = s;
+                out[(j, i)] = s;
+            }
+        }
+        out
+    }
+
+    /// `Aᵀb`.
+    pub fn t_mul_vec(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, b.len(), "dimension mismatch");
+        (0..self.cols)
+            .map(|c| (0..self.rows).map(|r| self[(r, c)] * b[r]).sum())
+            .collect()
+    }
+
+    /// Solves `self · x = b` by Gaussian elimination with partial pivoting.
+    /// Returns `None` if the matrix is numerically singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(self.rows, b.len(), "rhs length mismatch");
+        let n = self.rows;
+        // Augmented working copy, row-major for cache-friendly elimination.
+        let mut a: Vec<Vec<f64>> = (0..n)
+            .map(|r| {
+                let mut row: Vec<f64> = (0..n).map(|c| self[(r, c)]).collect();
+                row.push(b[r]);
+                row
+            })
+            .collect();
+
+        let scale = a
+            .iter()
+            .flat_map(|r| r[..n].iter())
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(1.0);
+
+        for k in 0..n {
+            // Partial pivot.
+            let (piv, piv_val) = (k..n)
+                .map(|r| (r, a[r][k].abs()))
+                .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())?;
+            if piv_val < 1e-13 * scale {
+                return None;
+            }
+            a.swap(k, piv);
+            for r in (k + 1)..n {
+                let f = a[r][k] / a[k][k];
+                if f == 0.0 {
+                    continue;
+                }
+                for c in k..=n {
+                    a[r][c] -= f * a[k][c];
+                }
+            }
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut s = a[k][n];
+            for c in (k + 1)..n {
+                s -= a[k][c] * x[c];
+            }
+            x[k] = s / a[k][k];
+        }
+        Some(x)
+    }
+}
+
+impl Index<(usize, usize)> for RMat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[c * self.rows + r]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RMat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[c * self.rows + r]
+    }
+}
+
+impl fmt::Debug for RMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RMat {}×{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Solves the least-squares problem `min ‖A·x − b‖²` via the normal
+/// equations. Fine for the small, well-conditioned systems SpotFi solves
+/// (2–4 unknowns). Returns `None` when `AᵀA` is singular.
+pub fn lstsq(a: &RMat, b: &[f64]) -> Option<Vec<f64>> {
+    a.gram().solve(&a.t_mul_vec(b))
+}
+
+/// Fits `y ≈ slope·x + intercept`; returns `(slope, intercept)`.
+///
+/// This is the core of SpotFi's ToF sanitization (Algorithm 1): the common
+/// linear-in-subcarrier phase slope *is* the sampling-time offset.
+///
+/// Returns `None` if fewer than 2 points or all `x` identical.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<(f64, f64)> {
+    assert_eq!(x.len(), y.len(), "linear_fit length mismatch");
+    let n = x.len() as f64;
+    if x.len() < 2 {
+        return None;
+    }
+    let sx: f64 = x.iter().sum();
+    let sy: f64 = y.iter().sum();
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 * (n * sxx).abs().max(1.0) {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    Some((slope, intercept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // x + y = 3, x - y = 1 → x = 2, y = 1.
+        let a = RMat::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]);
+        let x = a.solve(&[3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = RMat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = RMat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_4x4_random() {
+        let a = RMat::from_fn(4, 4, |r, c| ((r * 7 + c * 3 + 1) % 11) as f64 - 3.0);
+        let x_true = [1.0, -2.0, 0.5, 3.0];
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for i in 0..4 {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lstsq_overdetermined() {
+        // y = 2x + 1 with symmetric, zero-mean noise pattern.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let noise = [0.1, -0.1, 0.0, -0.1, 0.1];
+        let a = RMat::from_fn(5, 2, |r, c| if c == 0 { xs[r] } else { 1.0 });
+        let b: Vec<f64> = xs.iter().zip(noise).map(|(x, n)| 2.0 * x + 1.0 + n).collect();
+        let sol = lstsq(&a, &b).unwrap();
+        assert!((sol[0] - 2.0).abs() < 0.05, "slope {}", sol[0]);
+        assert!((sol[1] - 1.0).abs() < 0.1, "intercept {}", sol[1]);
+    }
+
+    #[test]
+    fn linear_fit_exact() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| -3.0 * v + 0.5).collect();
+        let (m, b) = linear_fit(&x, &y).unwrap();
+        assert!((m + 3.0).abs() < 1e-12);
+        assert!((b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd() {
+        let a = RMat::from_fn(6, 3, |r, c| (r as f64 - 2.0) * (c as f64 + 1.0) + r as f64);
+        let g = a.gram();
+        for i in 0..3 {
+            assert!(g[(i, i)] >= 0.0);
+            for j in 0..3 {
+                assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_mul_roundtrip() {
+        let a = RMat::from_fn(3, 2, |r, c| (r + 2 * c) as f64);
+        let at = a.transpose();
+        assert_eq!(at.rows(), 2);
+        let g = at.mul(&a);
+        let g2 = a.gram();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((g[(i, j)] - g2[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Figure 8: where SpotFi's accuracy comes from.
+//!
+//! * **8(a)** AoA *estimation* error (closest estimate to ground truth),
+//!   SpotFi's joint AoA/ToF estimator vs antenna-only MUSIC-AoA, split by
+//!   LoS/NLoS links — paper: SpotFi ≲ 5°/10° median, MUSIC-AoA
+//!   7.4°/15.2°.
+//! * **8(b)** direct-path *selection* error on SpotFi's own estimates:
+//!   SpotFi's likelihood vs LTEye (min ToF) vs CUPID (max power) vs Oracle —
+//!   paper ordering: Oracle ≥ SpotFi > LTEye > CUPID.
+
+use crate::deployment::Deployment;
+use crate::experiments::ExperimentOptions;
+use crate::report::FigureSeries;
+use crate::runner::{LinkRecord, Runner};
+use crate::scenario::Scenario;
+
+/// Result of both Figure 8 panels.
+#[derive(Clone, Debug)]
+pub struct Fig8Result {
+    /// 8(a): SpotFi estimation error on LoS links, degrees.
+    pub spotfi_los: FigureSeries,
+    /// 8(a): SpotFi estimation error on NLoS links.
+    pub spotfi_nlos: FigureSeries,
+    /// 8(a): MUSIC-AoA estimation error on LoS links.
+    pub music_los: FigureSeries,
+    /// 8(a): MUSIC-AoA estimation error on NLoS links.
+    pub music_nlos: FigureSeries,
+    /// 8(b): SpotFi's Eq. 8 likelihood selection error across all links.
+    pub sel_spotfi: FigureSeries,
+    /// 8(b): LTEye smallest-ToF selection error.
+    pub sel_lteye: FigureSeries,
+    /// 8(b): CUPID strongest-peak selection error.
+    pub sel_cupid: FigureSeries,
+    /// 8(b): Oracle selection error (lower bound).
+    pub sel_oracle: FigureSeries,
+    /// Raw link records (for deeper analysis).
+    pub links: Vec<LinkRecord>,
+}
+
+/// Runs Figure 8 over the office and NLoS scenarios (links from both feed
+/// the LoS/NLoS split, as in the paper's "all the deployment scenarios").
+pub fn run(opts: &ExperimentOptions) -> Fig8Result {
+    let deployment = Deployment::standard();
+    let mut links: Vec<LinkRecord> = Vec::new();
+    for mut scenario in [Scenario::office(&deployment), Scenario::nlos(&deployment)] {
+        opts.trim(&mut scenario);
+        let runner = Runner::new(scenario, opts.runner.clone());
+        links.extend(runner.run_links());
+    }
+
+    let pick = |f: &dyn Fn(&LinkRecord) -> Option<f64>, los: Option<bool>| -> Vec<f64> {
+        links
+            .iter()
+            .filter(|l| los.map_or(true, |v| l.is_los == v))
+            .filter_map(|l| f(l))
+            .collect()
+    };
+
+    Fig8Result {
+        spotfi_los: FigureSeries::new(
+            "SpotFi LoS",
+            pick(&|l| l.spotfi_estimation_error_deg, Some(true)),
+        ),
+        spotfi_nlos: FigureSeries::new(
+            "SpotFi NLoS",
+            pick(&|l| l.spotfi_estimation_error_deg, Some(false)),
+        ),
+        music_los: FigureSeries::new(
+            "MUSIC-AoA LoS",
+            pick(&|l| l.music_aoa_estimation_error_deg, Some(true)),
+        ),
+        music_nlos: FigureSeries::new(
+            "MUSIC-AoA NLoS",
+            pick(&|l| l.music_aoa_estimation_error_deg, Some(false)),
+        ),
+        sel_spotfi: FigureSeries::new("SpotFi", pick(&|l| l.sel_spotfi_deg, None)),
+        sel_lteye: FigureSeries::new("LTEye(minToF)", pick(&|l| l.sel_lteye_deg, None)),
+        sel_cupid: FigureSeries::new("CUPID(maxPower)", pick(&|l| l.sel_cupid_deg, None)),
+        sel_oracle: FigureSeries::new("Oracle", pick(&|l| l.sel_oracle_deg, None)),
+        links,
+    }
+}
+
+/// Renders both panels.
+pub fn render(r: &Fig8Result) -> String {
+    let mut out = crate::report::render_figure(
+        "Fig 8(a): AoA estimation error",
+        "deg",
+        &[
+            r.spotfi_los.clone(),
+            r.spotfi_nlos.clone(),
+            r.music_los.clone(),
+            r.music_nlos.clone(),
+        ],
+        21,
+    );
+    out.push('\n');
+    out.push_str(&crate::report::render_figure(
+        "Fig 8(b): direct path selection error",
+        "deg",
+        &[
+            r.sel_oracle.clone(),
+            r.sel_spotfi.clone(),
+            r.sel_lteye.clone(),
+            r.sel_cupid.clone(),
+        ],
+        21,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_all_series() {
+        let r = run(&ExperimentOptions::fast_test());
+        assert!(!r.spotfi_los.is_empty(), "no LoS links recorded");
+        assert!(!r.sel_spotfi.is_empty());
+        assert!(!r.sel_oracle.is_empty());
+        assert!(!r.links.is_empty());
+    }
+
+    #[test]
+    fn oracle_never_worse_than_spotfi_selection() {
+        let r = run(&ExperimentOptions::fast_test());
+        // Per link, oracle picks the closest cluster by definition.
+        for l in &r.links {
+            if let (Some(o), Some(s)) = (l.sel_oracle_deg, l.sel_spotfi_deg) {
+                assert!(o <= s + 1e-9, "oracle {} worse than SpotFi {}", o, s);
+            }
+        }
+    }
+
+    #[test]
+    fn spotfi_los_beats_music_aoa_los_in_median() {
+        let r = run(&ExperimentOptions::fast_test());
+        if !r.spotfi_los.is_empty() && !r.music_los.is_empty() {
+            assert!(
+                r.spotfi_los.median() <= r.music_los.median() + 3.0,
+                "SpotFi {}° vs MUSIC-AoA {}°",
+                r.spotfi_los.median(),
+                r.music_los.median()
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_both_panels() {
+        let r = run(&ExperimentOptions::fast_test());
+        let text = render(&r);
+        assert!(text.contains("Fig 8(a)"));
+        assert!(text.contains("Fig 8(b)"));
+        assert!(text.contains("Oracle"));
+        assert!(text.contains("CUPID"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Figure 9: sensitivity to deployment density and traffic.
+//!
+//! * **9(a)** localization error vs number of APs that hear the target —
+//!   paper medians: 1.9 / 0.8 / 0.6 m for 3 / 4 / 5 APs; the big jump is
+//!   3 → 4.
+//! * **9(b)** localization error vs packets per fix (6 → 40) — paper:
+//!   10 packets ≈ 0.5 m vs 40 packets ≈ 0.4 m, i.e. 10 suffice.
+
+use crate::deployment::Deployment;
+use crate::experiments::ExperimentOptions;
+use crate::report::FigureSeries;
+use crate::runner::{audible_traces, Runner};
+use crate::scenario::Scenario;
+use spotfi_core::{ApPackets, SpotFi};
+
+/// AP subset sizes for panel (a).
+pub const AP_COUNTS: [usize; 3] = [3, 4, 5];
+/// Packet counts for panel (b).
+pub const PACKET_COUNTS: [usize; 4] = [6, 10, 20, 40];
+
+/// Result of panel (a): one error series per AP count.
+#[derive(Clone, Debug)]
+pub struct Fig9aResult {
+    /// `(ap_count, errors)` pairs.
+    pub series: Vec<(usize, FigureSeries)>,
+}
+
+/// Result of panel (b): one error series per packet count.
+#[derive(Clone, Debug)]
+pub struct Fig9bResult {
+    /// `(packets, errors)` pairs.
+    pub series: Vec<(usize, FigureSeries)>,
+}
+
+/// Deterministic "random" AP subsets: each subset takes evenly spaced APs
+/// around the deployment (rotated per round), so no subset is accidentally
+/// collinear — the paper uses random subsets; we enumerate evenly for
+/// reproducibility.
+fn ap_subsets(total: usize, size: usize, count: usize) -> Vec<Vec<usize>> {
+    (0..count)
+        .map(|round| {
+            (0..size)
+                .map(|k| (round + (k * total + size / 2) / size) % total)
+                .fold(Vec::new(), |mut acc, idx| {
+                    // Avoid duplicates within a subset by linear probing.
+                    let mut idx = idx;
+                    while acc.contains(&idx) {
+                        idx = (idx + 1) % total;
+                    }
+                    acc.push(idx);
+                    acc
+                })
+        })
+        .collect()
+}
+
+/// Runs panel (a), exactly as the paper describes: every target's packets
+/// are captured once from **all** APs, then localization runs on random
+/// (here: evenly enumerated) AP subsets of that same data.
+pub fn run_density(opts: &ExperimentOptions) -> Fig9aResult {
+    let deployment = Deployment::standard();
+    let base = {
+        let mut s = Scenario::office(&deployment);
+        opts.trim(&mut s);
+        s
+    };
+    let spotfi = SpotFi::new(opts.runner.spotfi.clone());
+
+    // Per-size error pools.
+    let mut pools: Vec<(usize, Vec<f64>)> = AP_COUNTS.iter().map(|&n| (n, Vec::new())).collect();
+    for t_idx in 0..base.targets.len() {
+        let traces = audible_traces(&base, &opts.runner, t_idx);
+        let truth = base.targets[t_idx].position;
+        for (n_aps, pool) in pools.iter_mut() {
+            for subset in ap_subsets(base.aps.len(), *n_aps, 5) {
+                let packs: Vec<ApPackets> = traces
+                    .iter()
+                    .filter(|(idx, _, _)| subset.contains(idx))
+                    .map(|(_, ap, tr)| ApPackets {
+                        array: ap.array,
+                        packets: tr.packets.clone(),
+                    })
+                    .collect();
+                if packs.len() < 2 {
+                    continue;
+                }
+                if let Ok(est) = spotfi.localize(&packs) {
+                    pool.push(est.position.distance(truth));
+                }
+            }
+        }
+    }
+
+    Fig9aResult {
+        series: pools
+            .into_iter()
+            .map(|(n, errors)| (n, FigureSeries::new(format!("{} APs", n), errors)))
+            .collect(),
+    }
+}
+
+/// Runs panel (b): office scenario with varying packets per fix.
+pub fn run_packets(opts: &ExperimentOptions) -> Fig9bResult {
+    let deployment = Deployment::standard();
+    let series = PACKET_COUNTS
+        .iter()
+        .map(|&packets| {
+            let mut scenario = Scenario::office(&deployment);
+            if let Some(max) = opts.max_targets {
+                scenario.targets.truncate(max);
+            }
+            scenario.packets_per_fix = packets;
+            scenario.name = format!("office-{}pkts", packets);
+            let runner = Runner::new(scenario, opts.runner.clone());
+            let errors: Vec<f64> = runner
+                .run_localization()
+                .into_iter()
+                .filter_map(|r| r.spotfi_error_m)
+                .collect();
+            (packets, FigureSeries::new(format!("{} packets", packets), errors))
+        })
+        .collect();
+    Fig9bResult { series }
+}
+
+/// Renders panel (a).
+pub fn render_density(r: &Fig9aResult) -> String {
+    let series: Vec<FigureSeries> = r.series.iter().map(|(_, s)| s.clone()).collect();
+    crate::report::render_figure("Fig 9(a): error vs number of APs", "m", &series, 21)
+}
+
+/// Renders panel (b).
+pub fn render_packets(r: &Fig9bResult) -> String {
+    let series: Vec<FigureSeries> = r.series.iter().map(|(_, s)| s.clone()).collect();
+    crate::report::render_figure("Fig 9(b): error vs packets per fix", "m", &series, 21)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsets_are_valid() {
+        for size in [3, 4, 5] {
+            for subset in ap_subsets(6, size, 3) {
+                assert_eq!(subset.len(), size);
+                let unique: std::collections::HashSet<_> = subset.iter().collect();
+                assert_eq!(unique.len(), size, "duplicate AP in {:?}", subset);
+                assert!(subset.iter().all(|&i| i < 6));
+            }
+        }
+    }
+
+    #[test]
+    fn density_panel_produces_all_sizes() {
+        let mut opts = ExperimentOptions::fast_test();
+        opts.max_targets = Some(2);
+        let r = run_density(&opts);
+        assert_eq!(r.series.len(), 3);
+        for (n, s) in &r.series {
+            assert!(AP_COUNTS.contains(n));
+            assert!(!s.is_empty(), "{} APs produced no fixes", n);
+        }
+    }
+
+    #[test]
+    fn packets_panel_produces_all_counts() {
+        let mut opts = ExperimentOptions::fast_test();
+        opts.max_targets = Some(2);
+        let r = run_packets(&opts);
+        assert_eq!(r.series.len(), PACKET_COUNTS.len());
+        for (_, s) in &r.series {
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn renders_are_labeled() {
+        let mut opts = ExperimentOptions::fast_test();
+        opts.max_targets = Some(2);
+        let a = render_density(&run_density(&opts));
+        assert!(a.contains("3 APs") && a.contains("5 APs"));
+        let b = render_packets(&run_packets(&opts));
+        assert!(b.contains("6 packets") && b.contains("40 packets"));
+    }
+}

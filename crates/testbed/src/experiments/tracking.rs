@@ -1,0 +1,188 @@
+//! Extension experiment: motion tracing (the paper's stated future work).
+//!
+//! A target walks a piecewise-linear route through the Fig. 6 office at
+//! walking speed, producing a SpotFi fix every 2 s. We compare raw per-fix
+//! errors against the constant-velocity Kalman tracker
+//! ([`spotfi_core::tracking`]) with innovation gating.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spotfi_channel::{PacketTrace, Point};
+use spotfi_core::tracking::{Tracker, TrackerConfig};
+use spotfi_core::{ApPackets, SpotFi};
+
+use crate::deployment::Deployment;
+use crate::experiments::ExperimentOptions;
+use crate::report::FigureSeries;
+use crate::scenario::Scenario;
+
+/// Tracking experiment result.
+#[derive(Clone, Debug)]
+pub struct TrackingResult {
+    /// Raw per-fix localization errors along the walk, meters.
+    pub raw: FigureSeries,
+    /// Kalman-tracked errors at the same instants, meters.
+    pub tracked: FigureSeries,
+    /// Fixes rejected by the innovation gate.
+    pub gated: usize,
+    /// Waypoints where localization failed entirely.
+    pub lost: usize,
+}
+
+/// The walking route: a loop through the office, sampled every 2 s at
+/// ~0.9 m/s.
+fn route(steps: usize) -> Vec<Point> {
+    // Piecewise-linear waypoint skeleton.
+    let anchors = [
+        Point::new(4.0, 10.5),
+        Point::new(9.0, 10.5),
+        Point::new(10.5, 14.0),
+        Point::new(15.5, 14.5),
+        Point::new(16.0, 18.0),
+        Point::new(10.0, 17.5),
+        Point::new(4.0, 17.0),
+        Point::new(3.5, 12.0),
+    ];
+    let mut pts = Vec::with_capacity(steps);
+    // Total route length for uniform-speed sampling.
+    let mut cum = vec![0.0f64];
+    for w in anchors.windows(2) {
+        cum.push(cum.last().unwrap() + w[0].distance(w[1]));
+    }
+    let total = *cum.last().unwrap();
+    for i in 0..steps {
+        let d = total * i as f64 / (steps - 1) as f64;
+        let seg = cum.windows(2).position(|w| d <= w[1] + 1e-9).unwrap_or(0);
+        let t = ((d - cum[seg]) / (cum[seg + 1] - cum[seg]).max(1e-9)).clamp(0.0, 1.0);
+        let a = anchors[seg];
+        let b = anchors[seg + 1];
+        pts.push(Point::new(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t));
+    }
+    pts
+}
+
+/// Runs the walk.
+pub fn run(opts: &ExperimentOptions) -> TrackingResult {
+    let deployment = Deployment::standard();
+    let scenario = Scenario::office(&deployment);
+    let spotfi = SpotFi::new(opts.runner.spotfi.clone());
+    let steps = opts.max_targets.map(|m| (m * 4).max(6)).unwrap_or(24);
+    let packets = opts.packets_override.unwrap_or(10);
+
+    let mut tracker = Tracker::new(TrackerConfig {
+        measurement_std_m: 1.2,
+        gate_sigma: 5.0,
+        ..TrackerConfig::default()
+    });
+
+    let mut raw = Vec::new();
+    let mut tracked = Vec::new();
+    let mut gated = 0usize;
+    let mut lost = 0usize;
+    let mut rng = StdRng::seed_from_u64(0x7AC4);
+
+    for (step, pos) in route(steps).into_iter().enumerate() {
+        let t_s = step as f64 * 2.0;
+        let mut packs = Vec::new();
+        for ap in &scenario.aps {
+            if let Some(trace) = PacketTrace::generate(
+                &scenario.floorplan,
+                pos,
+                &ap.array,
+                &scenario.trace,
+                packets,
+                &mut rng,
+            ) {
+                packs.push(ApPackets {
+                    array: ap.array,
+                    packets: trace.packets,
+                });
+            }
+        }
+        match spotfi.localize(&packs) {
+            Ok(est) => {
+                raw.push(est.position.distance(pos));
+                let outcome = tracker.update(t_s, est.position, None);
+                if outcome == spotfi_core::tracking::UpdateOutcome::Rejected {
+                    gated += 1;
+                }
+                if let Some(p) = tracker.position() {
+                    tracked.push(p.distance(pos));
+                }
+            }
+            Err(_) => lost += 1,
+        }
+    }
+
+    TrackingResult {
+        raw: FigureSeries::new("raw fixes", raw),
+        tracked: FigureSeries::new("Kalman-tracked", tracked),
+        gated,
+        lost,
+    }
+}
+
+/// Renders the comparison.
+pub fn render(r: &TrackingResult) -> String {
+    let mut out = String::from("── Extension: motion tracing (office walk) ──\n");
+    for s in [&r.raw, &r.tracked] {
+        if s.is_empty() {
+            out.push_str(&format!("{:<16} (no samples)\n", s.label));
+        } else {
+            out.push_str(&format!(
+                "{:<16} med {:.2} m, p80 {:.2} m (n={})\n",
+                s.label,
+                s.median(),
+                s.quantile(0.8),
+                s.samples.len()
+            ));
+        }
+    }
+    out.push_str(&format!("gated fixes: {}, lost waypoints: {}\n", r.gated, r.lost));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_is_continuous_and_inside_office() {
+        let pts = route(40);
+        assert_eq!(pts.len(), 40);
+        for w in pts.windows(2) {
+            assert!(w[0].distance(w[1]) < 3.0, "route jump {}", w[0].distance(w[1]));
+        }
+        for p in &pts {
+            assert!((2.0..=18.0).contains(&p.x) && (9.0..=19.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn walk_produces_both_series() {
+        let mut opts = ExperimentOptions::fast_test();
+        opts.max_targets = Some(2); // 8 steps
+        let r = run(&opts);
+        assert!(!r.raw.is_empty());
+        assert!(!r.tracked.is_empty());
+        assert_eq!(r.raw.samples.len() + r.lost, 8);
+        let text = render(&r);
+        assert!(text.contains("Kalman-tracked"));
+    }
+
+    #[test]
+    fn tracking_does_not_blow_up_errors() {
+        let mut opts = ExperimentOptions::fast_test();
+        opts.max_targets = Some(3); // 12 steps
+        let r = run(&opts);
+        // The tracker may smooth or lag, but must stay in the same error
+        // class as the raw fixes.
+        assert!(
+            r.tracked.median() <= r.raw.median() * 2.0 + 1.0,
+            "tracked {:.2} m vs raw {:.2} m",
+            r.tracked.median(),
+            r.raw.median()
+        );
+    }
+}

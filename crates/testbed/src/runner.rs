@@ -1,0 +1,428 @@
+//! Experiment runner: traces → estimates → error records.
+//!
+//! [`Runner`] executes a [`Scenario`] end to end:
+//!
+//! * per (target, AP): generate a [`PacketTrace`] with a deterministic
+//!   per-link seed; an AP "hears" the target only if its mean RSSI clears a
+//!   sensitivity floor (as in a real capture);
+//! * per target: localize with SpotFi (Algorithm 2) and with the practical
+//!   ArrayTrack baseline on the *same* packets →
+//!   [`LocalizationRecord`] (Figs. 7, 9);
+//! * per link: AoA estimation and direct-path-selection errors for SpotFi,
+//!   MUSIC-AoA, LTEye, CUPID, and Oracle → [`LinkRecord`] (Fig. 8).
+//!
+//! Targets are processed in parallel with scoped OS threads (the work is
+//! CPU-bound signal processing, so threads — not async — are the right
+//! tool).
+
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spotfi_baselines::arraytrack::{arraytrack_localize_in_bounds, ArrayTrackConfig};
+use spotfi_baselines::music_aoa::{music_aoa_spectrum, MusicAoaConfig};
+use spotfi_baselines::selection::{select_cupid, select_lteye, select_oracle};
+use spotfi_channel::{AntennaArray, CsiPacket, PacketTrace, Point};
+use spotfi_core::{ApPackets, SpotFi, SpotFiConfig};
+
+use crate::deployment::NamedAp;
+use crate::scenario::Scenario;
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct RunnerConfig {
+    /// SpotFi estimator configuration.
+    pub spotfi: SpotFiConfig,
+    /// ArrayTrack baseline configuration.
+    pub arraytrack: ArrayTrackConfig,
+    /// Sensitivity floor: APs with mean RSSI below this don't hear the
+    /// target, dBm.
+    pub min_rssi_dbm: f64,
+    /// Worker threads (0 ⇒ available parallelism).
+    pub threads: usize,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            spotfi: SpotFiConfig::default(),
+            arraytrack: ArrayTrackConfig::intel5300(),
+            min_rssi_dbm: -85.0,
+            threads: 0,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// Coarser grids for unit tests.
+    pub fn fast_test() -> Self {
+        let mut c = RunnerConfig::default();
+        c.spotfi = SpotFiConfig::fast_test();
+        c.arraytrack.music.aoa_grid_deg = spotfi_core::GridSpec::new(-90.0, 90.0, 2.0);
+        c.arraytrack.grid_step_m = 0.5;
+        c
+    }
+}
+
+/// Localization outcome for one target (Figs. 7, 9).
+#[derive(Clone, Debug)]
+pub struct LocalizationRecord {
+    /// Target label.
+    pub target_name: String,
+    /// Ground truth position.
+    pub truth: Point,
+    /// SpotFi error, meters (`None` = failed to produce a fix).
+    pub spotfi_error_m: Option<f64>,
+    /// ArrayTrack error, meters.
+    pub arraytrack_error_m: Option<f64>,
+    /// How many APs heard the target.
+    pub heard_by: usize,
+}
+
+/// Per-(target, AP) AoA record (Fig. 8).
+#[derive(Clone, Debug)]
+pub struct LinkRecord {
+    /// Target label.
+    pub target_name: String,
+    /// AP label.
+    pub ap_name: String,
+    /// Geometric line of sight on this link.
+    pub is_los: bool,
+    /// Ground-truth direct-path AoA at this AP, degrees.
+    pub truth_aoa_deg: f64,
+    /// Fig. 8a — SpotFi super-resolution: closest estimate to truth.
+    pub spotfi_estimation_error_deg: Option<f64>,
+    /// Fig. 8a — MUSIC-AoA: closest averaged-spectrum peak to truth.
+    pub music_aoa_estimation_error_deg: Option<f64>,
+    /// Fig. 8b — SpotFi's likelihood selection error.
+    pub sel_spotfi_deg: Option<f64>,
+    /// Fig. 8b — LTEye smallest-ToF selection error.
+    pub sel_lteye_deg: Option<f64>,
+    /// Fig. 8b — CUPID strongest-peak selection error.
+    pub sel_cupid_deg: Option<f64>,
+    /// Fig. 8b — Oracle selection error (lower bound).
+    pub sel_oracle_deg: Option<f64>,
+}
+
+/// Executes scenarios.
+pub struct Runner {
+    /// The scenario to run.
+    pub scenario: Scenario,
+    /// Estimator/baseline configuration.
+    pub config: RunnerConfig,
+}
+
+/// Traces one target against every AP; returns the audible subset with
+/// each AP's index in the scenario's AP list (so callers can form subsets
+/// of the *same* data, as the paper's Fig. 9a does).
+pub fn audible_traces(
+    scenario: &Scenario,
+    cfg: &RunnerConfig,
+    target_idx: usize,
+) -> Vec<(usize, NamedAp, PacketTrace)> {
+    let target = &scenario.targets[target_idx];
+    let mut out = Vec::new();
+    for (ap_idx, ap) in scenario.aps.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(scenario.link_seed(target_idx, ap_idx));
+        let Some(trace) = PacketTrace::generate(
+            &scenario.floorplan,
+            target.position,
+            &ap.array,
+            &scenario.trace,
+            scenario.packets_per_fix,
+            &mut rng,
+        ) else {
+            continue;
+        };
+        let mean_rssi = trace.packets.iter().map(|p| p.rssi_dbm).sum::<f64>()
+            / trace.packets.len() as f64;
+        if mean_rssi < cfg.min_rssi_dbm {
+            continue;
+        }
+        out.push((ap_idx, ap.clone(), trace));
+    }
+    out
+}
+
+impl Runner {
+    /// Creates a runner.
+    pub fn new(scenario: Scenario, config: RunnerConfig) -> Self {
+        Runner { scenario, config }
+    }
+
+    /// Runs localization for every target (SpotFi + ArrayTrack on identical
+    /// packets). Records are returned in target order.
+    pub fn run_localization(&self) -> Vec<LocalizationRecord> {
+        self.parallel_over_targets(|t_idx| self.localize_target(t_idx))
+    }
+
+    /// Runs the per-link AoA experiments for every (audible) link.
+    pub fn run_links(&self) -> Vec<LinkRecord> {
+        let nested = self.parallel_over_targets(|t_idx| self.link_records(t_idx));
+        nested.into_iter().flatten().collect()
+    }
+
+    /// Search bounds: AP bounding box + margin, clamped to the building
+    /// outline — a fix outside the building is physically impossible, and
+    /// both systems get the same constraint.
+    fn search_bounds(&self, aps: &[spotfi_core::ApMeasurement]) -> spotfi_core::SearchBounds {
+        let mut b = spotfi_core::SearchBounds::around_aps(
+            aps,
+            self.config.spotfi.localize.search_margin_m,
+        );
+        if let Some((min, max)) = self.scenario.floorplan.bounding_box() {
+            b.min_x = b.min_x.max(min.x);
+            b.max_x = b.max_x.min(max.x);
+            b.min_y = b.min_y.max(min.y);
+            b.max_y = b.max_y.min(max.y);
+        }
+        b
+    }
+
+    fn localize_target(&self, t_idx: usize) -> LocalizationRecord {
+        let target = &self.scenario.targets[t_idx];
+        let traces = audible_traces(&self.scenario, &self.config, t_idx);
+        let heard_by = traces.len();
+
+        let spotfi = SpotFi::new(self.config.spotfi.clone());
+        let ap_packets: Vec<ApPackets> = traces
+            .iter()
+            .map(|(_, ap, tr)| ApPackets {
+                array: ap.array,
+                packets: tr.packets.clone(),
+            })
+            .collect();
+        let placeholder: Vec<spotfi_core::ApMeasurement> = traces
+            .iter()
+            .map(|(_, ap, tr)| spotfi_core::ApMeasurement {
+                array: ap.array,
+                direct_aoa_deg: 0.0,
+                likelihood: 1.0,
+                rssi_dbm: tr.packets.iter().map(|p| p.rssi_dbm).sum::<f64>()
+                    / tr.packets.len().max(1) as f64,
+            })
+            .collect();
+        let bounds = self.search_bounds(&placeholder);
+        let spotfi_error_m = spotfi
+            .localize_in_bounds(&ap_packets, bounds)
+            .ok()
+            .map(|est| est.position.distance(target.position));
+
+        let at_input: Vec<(AntennaArray, &[CsiPacket])> = traces
+            .iter()
+            .map(|(_, ap, tr)| (ap.array, tr.packets.as_slice()))
+            .collect();
+        let arraytrack_error_m =
+            arraytrack_localize_in_bounds(&at_input, bounds, &self.config.arraytrack)
+                .ok()
+                .map(|est| est.distance(target.position));
+
+        LocalizationRecord {
+            target_name: target.name.clone(),
+            truth: target.position,
+            spotfi_error_m,
+            arraytrack_error_m,
+            heard_by,
+        }
+    }
+
+    fn link_records(&self, t_idx: usize) -> Vec<LinkRecord> {
+        let target = &self.scenario.targets[t_idx];
+        let traces = audible_traces(&self.scenario, &self.config, t_idx);
+        let spotfi = SpotFi::new(self.config.spotfi.clone());
+
+        traces
+            .iter()
+            .map(|(_, ap, trace)| {
+                let truth_aoa = ap.array.aoa_from_deg(target.position);
+                let is_los = self
+                    .scenario
+                    .floorplan
+                    .line_of_sight(target.position, ap.array.position);
+
+                let analysis = spotfi
+                    .analyze_ap(&ApPackets {
+                        array: ap.array,
+                        packets: trace.packets.clone(),
+                    })
+                    .ok();
+
+                // Fig. 8a: closest super-resolution cluster to the truth.
+                let spotfi_estimation_error_deg = analysis.as_ref().and_then(|a| {
+                    a.clustering
+                        .clusters
+                        .iter()
+                        .map(|c| (c.mean_aoa_deg - truth_aoa).abs())
+                        .min_by(|x, y| x.partial_cmp(y).unwrap())
+                });
+
+                // Fig. 8a: MUSIC-AoA averaged spectrum, closest peak.
+                let music_aoa_estimation_error_deg =
+                    averaged_music_aoa_peaks(&trace.packets, &self.config.arraytrack.music)
+                        .into_iter()
+                        .map(|aoa| (aoa - truth_aoa).abs())
+                        .min_by(|x, y| x.partial_cmp(y).unwrap());
+
+                // Fig. 8b: selection errors on SpotFi's own estimates.
+                let (sel_spotfi, sel_lteye, sel_cupid, sel_oracle) = match &analysis {
+                    Some(a) => (
+                        a.direct.map(|d| (d.aoa_deg - truth_aoa).abs()),
+                        select_lteye(&a.clustering).map(|s| (s.aoa_deg - truth_aoa).abs()),
+                        select_cupid(&a.clustering, &a.path_estimates)
+                            .map(|s| (s.aoa_deg - truth_aoa).abs()),
+                        select_oracle(&a.clustering, truth_aoa)
+                            .map(|s| (s.aoa_deg - truth_aoa).abs()),
+                    ),
+                    None => (None, None, None, None),
+                };
+
+                LinkRecord {
+                    target_name: target.name.clone(),
+                    ap_name: ap.name.clone(),
+                    is_los,
+                    truth_aoa_deg: truth_aoa,
+                    spotfi_estimation_error_deg,
+                    music_aoa_estimation_error_deg,
+                    sel_spotfi_deg: sel_spotfi,
+                    sel_lteye_deg: sel_lteye,
+                    sel_cupid_deg: sel_cupid,
+                    sel_oracle_deg: sel_oracle,
+                }
+            })
+            .collect()
+    }
+
+    /// Maps `f` over target indices in parallel, preserving order.
+    fn parallel_over_targets<T: Send>(&self, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        let n = self.scenario.targets.len();
+        let threads = if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        }
+        .min(n.max(1));
+
+        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        let next: Mutex<usize> = Mutex::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let idx = {
+                        let mut guard = next.lock().unwrap();
+                        let idx = *guard;
+                        if idx >= n {
+                            return;
+                        }
+                        *guard += 1;
+                        idx
+                    };
+                    let value = f(idx);
+                    results.lock().unwrap()[idx] = Some(value);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|o| o.expect("worker missed an index"))
+            .collect()
+    }
+}
+
+/// Packet-averaged MUSIC-AoA spectrum peaks (up to the configured signal
+/// dimension).
+fn averaged_music_aoa_peaks(packets: &[CsiPacket], cfg: &MusicAoaConfig) -> Vec<f64> {
+    let mut sum: Option<Vec<f64>> = None;
+    for p in packets {
+        let Ok(spec) = music_aoa_spectrum(&p.csi, cfg) else {
+            continue;
+        };
+        let max = spec.values.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+        match &mut sum {
+            None => sum = Some(spec.values.iter().map(|v| v / max).collect()),
+            Some(s) => {
+                for (acc, v) in s.iter_mut().zip(&spec.values) {
+                    *acc += v / max;
+                }
+            }
+        }
+    }
+    let Some(values) = sum else {
+        return Vec::new();
+    };
+    let spec = spotfi_baselines::music_aoa::MusicAoaSpectrum {
+        aoa_grid_deg: cfg.aoa_grid_deg,
+        values,
+    };
+    spec.peaks(cfg.max_paths).into_iter().map(|(aoa, _)| aoa).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+
+    /// A trimmed office scenario for fast tests.
+    fn mini_scenario() -> Scenario {
+        let d = Deployment::standard();
+        let mut s = Scenario::office(&d);
+        s.targets.truncate(3);
+        s.packets_per_fix = 6;
+        s
+    }
+
+    #[test]
+    fn localization_produces_records_for_all_targets() {
+        let runner = Runner::new(mini_scenario(), RunnerConfig::fast_test());
+        let recs = runner.run_localization();
+        assert_eq!(recs.len(), 3);
+        for r in &recs {
+            assert!(r.heard_by >= 2, "{} heard by {}", r.target_name, r.heard_by);
+            let e = r.spotfi_error_m.expect("SpotFi fix");
+            assert!(e.is_finite() && e < 20.0, "{}: error {}", r.target_name, e);
+            assert!(r.arraytrack_error_m.is_some());
+        }
+    }
+
+    #[test]
+    fn link_records_cover_audible_links() {
+        let runner = Runner::new(mini_scenario(), RunnerConfig::fast_test());
+        let links = runner.run_links();
+        assert!(links.len() >= 6, "{} links", links.len());
+        for l in &links {
+            assert!((-90.0..=90.0).contains(&l.truth_aoa_deg));
+            if let Some(e) = l.spotfi_estimation_error_deg {
+                assert!((0.0..=180.0).contains(&e));
+            }
+        }
+        // In the office, most links should be LoS.
+        let los = links.iter().filter(|l| l.is_los).count();
+        assert!(los * 2 >= links.len(), "{}/{} LoS", los, links.len());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let runner = Runner::new(mini_scenario(), RunnerConfig::fast_test());
+        let a = runner.run_localization();
+        let b = runner.run_localization();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spotfi_error_m, y.spotfi_error_m);
+            assert_eq!(x.arraytrack_error_m, y.arraytrack_error_m);
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let mut cfg = RunnerConfig::fast_test();
+        cfg.threads = 1;
+        let serial = Runner::new(mini_scenario(), cfg).run_localization();
+        let parallel = Runner::new(mini_scenario(), RunnerConfig::fast_test()).run_localization();
+        for (x, y) in serial.iter().zip(&parallel) {
+            assert_eq!(x.spotfi_error_m, y.spotfi_error_m);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Runnable scenarios: floorplan + APs + targets + measurement conditions.
+
+use spotfi_channel::floorplan::Floorplan;
+use spotfi_channel::trace::TraceConfig;
+
+use crate::deployment::{Deployment, NamedAp, Target};
+
+/// A complete experiment scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario label for reports (`"office"`, `"nlos"`, `"corridor"`).
+    pub name: String,
+    /// The environment.
+    pub floorplan: Floorplan,
+    /// Deployed APs.
+    pub aps: Vec<NamedAp>,
+    /// Target locations with ground truth.
+    pub targets: Vec<Target>,
+    /// Measurement conditions (impairments, RSSI model, OFDM grid).
+    pub trace: TraceConfig,
+    /// Packets captured per localization fix (the paper uses groups of 40,
+    /// and shows 10 suffice — Sec. 4.4.4).
+    pub packets_per_fix: usize,
+    /// Root seed; per-(target, AP) streams derive from it deterministically.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The indoor office deployment of Sec. 4.3.1 (Fig. 7a).
+    pub fn office(deployment: &Deployment) -> Scenario {
+        Scenario {
+            name: "office".to_string(),
+            floorplan: deployment.floorplan.clone(),
+            aps: deployment.office_aps.clone(),
+            targets: deployment.office_targets.clone(),
+            trace: TraceConfig::commodity(),
+            packets_per_fix: 10,
+            seed: 0x5907F1,
+        }
+    }
+
+    /// The high-NLoS deployment of Sec. 4.3.2 (Fig. 7b): same APs, targets
+    /// with ≤ 2 LoS APs.
+    pub fn nlos(deployment: &Deployment) -> Scenario {
+        Scenario {
+            name: "nlos".to_string(),
+            floorplan: deployment.floorplan.clone(),
+            aps: deployment.all_aps(),
+            targets: deployment.nlos_targets.clone(),
+            trace: TraceConfig::commodity(),
+            packets_per_fix: 10,
+            seed: 0x5907F2,
+        }
+    }
+
+    /// The corridor deployment of Sec. 4.3.3 (Fig. 7c): wall-mounted APs,
+    /// targets along the hallways.
+    pub fn corridor(deployment: &Deployment) -> Scenario {
+        Scenario {
+            name: "corridor".to_string(),
+            floorplan: deployment.floorplan.clone(),
+            aps: deployment.corridor_aps.clone(),
+            targets: deployment.corridor_targets.clone(),
+            trace: TraceConfig::commodity(),
+            packets_per_fix: 10,
+            seed: 0x5907F3,
+        }
+    }
+
+    /// Deterministic per-(target, AP) RNG seed.
+    pub fn link_seed(&self, target_idx: usize, ap_idx: usize) -> u64 {
+        // SplitMix-style mixing keeps streams independent.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(1 + target_idx as u64))
+            .wrapping_add(0xBF58476D1CE4E5B9u64.wrapping_mul(101 + ap_idx as u64));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_well_formed() {
+        let d = Deployment::standard();
+        for s in [Scenario::office(&d), Scenario::nlos(&d), Scenario::corridor(&d)] {
+            assert!(s.aps.len() >= 3, "{}: too few APs", s.name);
+            assert!(!s.targets.is_empty(), "{}: no targets", s.name);
+            assert!(s.packets_per_fix >= 1);
+        }
+    }
+
+    #[test]
+    fn link_seeds_are_distinct() {
+        let d = Deployment::standard();
+        let s = Scenario::office(&d);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..30 {
+            for a in 0..8 {
+                assert!(seen.insert(s.link_seed(t, a)), "seed collision at ({}, {})", t, a);
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_differ_in_seed() {
+        let d = Deployment::standard();
+        assert_ne!(
+            Scenario::office(&d).link_seed(0, 0),
+            Scenario::nlos(&d).link_seed(0, 0)
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Diagnostic: per-target, per-AP breakdown of SpotFi estimation quality on
+//! the office scenario. Used for calibrating the reproduction; also a handy
+//! debugging tool for users extending the testbed.
+//!
+//! ```text
+//! cargo run --release --example diagnose [n_targets]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spotfi::core::{ApPackets, SpotFi, SpotFiConfig};
+use spotfi::testbed::deployment::Deployment;
+use spotfi::testbed::scenario::Scenario;
+use spotfi::PacketTrace;
+
+fn main() {
+    let n_targets: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+
+    let deployment = Deployment::standard();
+    let scenario = Scenario::office(&deployment);
+    let spotfi = SpotFi::new(SpotFiConfig::default());
+
+    for (t_idx, target) in scenario.targets.iter().take(n_targets).enumerate() {
+        println!("── {} at ({:.1}, {:.1}) ──", target.name, target.position.x, target.position.y);
+        let mut ap_packets = Vec::new();
+        for (ap_idx, ap) in scenario.aps.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(scenario.link_seed(t_idx, ap_idx));
+            let Some(trace) = PacketTrace::generate(
+                &scenario.floorplan,
+                target.position,
+                &ap.array,
+                &scenario.trace,
+                scenario.packets_per_fix,
+                &mut rng,
+            ) else {
+                println!("  {}: inaudible", ap.name);
+                continue;
+            };
+            let mean_rssi = trace.packets.iter().map(|p| p.rssi_dbm).sum::<f64>()
+                / trace.packets.len() as f64;
+            let truth_aoa = ap.array.aoa_from_deg(target.position);
+            let los = scenario
+                .floorplan
+                .line_of_sight(target.position, ap.array.position);
+            let gt_direct = trace.direct_path().map(|p| {
+                (p.aoa_deg(), p.tof_ns(), p.amplitude / trace.ground_truth_paths[0].amplitude)
+            });
+
+            let packets = ApPackets {
+                array: ap.array,
+                packets: trace.packets.clone(),
+            };
+            match spotfi.analyze_ap(&packets) {
+                Ok(a) => {
+                    let d = a.direct;
+                    println!(
+                        "  {}: rssi={:>6.1} los={} paths={} truthAoA={:>6.1} sel={:?} gt_direct={:?}",
+                        ap.name,
+                        mean_rssi,
+                        los as u8,
+                        trace.ground_truth_paths.len(),
+                        truth_aoa,
+                        d.map(|d| (
+                            (d.aoa_deg * 10.0).round() / 10.0,
+                            (d.tof_ns * 10.0).round() / 10.0,
+                            (d.likelihood * 1000.0).round() / 1000.0
+                        )),
+                        gt_direct.map(|(a, t, rel)| (
+                            (a * 10.0).round() / 10.0,
+                            (t * 10.0).round() / 10.0,
+                            (rel * 100.0).round() / 100.0
+                        )),
+                    );
+                    // Cluster dump.
+                    for (ci, c) in a.clustering.clusters.iter().enumerate() {
+                        println!(
+                            "      c{}: aoa={:>6.1} tof={:>6.1} n={:<2} σa={:.2} σt={:.2}",
+                            ci,
+                            c.mean_aoa_deg,
+                            c.mean_tof_ns,
+                            c.count,
+                            c.aoa_variance_norm.sqrt(),
+                            c.tof_variance_norm.sqrt()
+                        );
+                    }
+                }
+                Err(e) => println!("  {}: analysis failed: {}", ap.name, e),
+            }
+            ap_packets.push(packets);
+        }
+        match spotfi.localize(&ap_packets) {
+            Ok(est) => println!(
+                "  → fix ({:.2}, {:.2}), error {:.2} m, cost {:.2}",
+                est.position.x,
+                est.position.y,
+                est.position.distance(target.position),
+                est.cost
+            ),
+            Err(e) => println!("  → localization failed: {}", e),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Deep probe of a single (target, AP) link: ground-truth paths vs raw
+//! per-packet MUSIC peaks. Calibration/debugging aid.
+//!
+//! ```text
+//! cargo run --release --example probe_link [target_idx] [ap_idx]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spotfi::core::{SpotFi, SpotFiConfig};
+use spotfi::testbed::deployment::Deployment;
+use spotfi::testbed::scenario::Scenario;
+use spotfi::PacketTrace;
+
+fn main() {
+    let t_idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let ap_idx: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let deployment = Deployment::standard();
+    let scenario = Scenario::office(&deployment);
+    let target = &scenario.targets[t_idx];
+    let ap = &scenario.aps[ap_idx];
+    println!(
+        "link {} → {} | truth AoA {:.1}°",
+        target.name,
+        ap.name,
+        ap.array.aoa_from_deg(target.position)
+    );
+
+    let mut rng = StdRng::seed_from_u64(scenario.link_seed(t_idx, ap_idx));
+    let trace = PacketTrace::generate(
+        &scenario.floorplan,
+        target.position,
+        &ap.array,
+        &scenario.trace,
+        scenario.packets_per_fix,
+        &mut rng,
+    )
+    .expect("audible");
+
+    println!("ground-truth paths (aoa°, tof ns, rel amp, order):");
+    let a0 = trace.ground_truth_paths[0].amplitude;
+    for p in &trace.ground_truth_paths {
+        println!(
+            "  {:>6.1} {:>7.1} {:>5.2} {}",
+            p.aoa_deg(),
+            p.tof_ns(),
+            p.amplitude / a0,
+            p.kind.order()
+        );
+    }
+
+    let spotfi = SpotFi::new(SpotFiConfig::default());
+    for (i, packet) in trace.packets.iter().enumerate().take(4) {
+        match spotfi.analyze_packet(packet) {
+            Ok(peaks) => {
+                println!("packet {} peaks (aoa°, tof ns, power):", i);
+                for p in peaks {
+                    println!("  {:>6.1} {:>7.1} {:>10.1}", p.aoa_deg, p.tof_ns, p.power);
+                }
+            }
+            Err(e) => println!("packet {}: {}", i, e),
+        }
+    }
+}

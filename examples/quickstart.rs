@@ -1,0 +1,89 @@
+//! Quickstart: localize a WiFi device with four simulated APs.
+//!
+//! Mirrors the README example: build a floorplan, place APs, capture ten
+//! packets per AP from the target, and run SpotFi (Algorithm 2).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spotfi::channel::materials::Material;
+use spotfi::core::{ApPackets, SpotFi, SpotFiConfig};
+use spotfi::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+
+fn main() {
+    // A 10 m × 8 m office: drywall interior surfaces (as real offices
+    // have), one concrete structural wall, and a drywall partition.
+    let mut plan = Floorplan::empty();
+    plan.add_wall(Point::new(0.0, 0.0), Point::new(10.0, 0.0), Material::CONCRETE);
+    plan.add_wall(Point::new(10.0, 0.0), Point::new(10.0, 8.0), Material::DRYWALL);
+    plan.add_wall(Point::new(10.0, 8.0), Point::new(0.0, 8.0), Material::DRYWALL);
+    plan.add_wall(Point::new(0.0, 8.0), Point::new(0.0, 0.0), Material::DRYWALL);
+    plan.add_wall(Point::new(6.0, 3.0), Point::new(6.0, 8.0), Material::DRYWALL);
+
+    // The device we want to find.
+    let target = Point::new(7.5, 5.5);
+
+    // Four commodity 3-antenna APs in the corners, looking at the room
+    // center.
+    let trace_cfg = TraceConfig::commodity();
+    let center = Point::new(5.0, 4.0);
+    let corners = [(0.3, 0.3), (9.7, 0.3), (9.7, 7.7), (0.3, 7.7)];
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let mut aps = Vec::new();
+    for (i, &(x, y)) in corners.iter().enumerate() {
+        let normal = (center - Point::new(x, y)).angle();
+        let array = AntennaArray::intel5300(Point::new(x, y), normal, trace_cfg.ofdm.carrier_hz);
+        // Capture 10 packets of CSI + RSSI — all SpotFi ever sees.
+        let trace = PacketTrace::generate(&plan, target, &array, &trace_cfg, 10, &mut rng)
+            .expect("AP hears the target");
+        println!(
+            "AP{} at ({:.1}, {:.1}): {} packets, mean RSSI {:.1} dBm",
+            i + 1,
+            x,
+            y,
+            trace.packets.len(),
+            trace.packets.iter().map(|p| p.rssi_dbm).sum::<f64>() / trace.packets.len() as f64
+        );
+        aps.push(ApPackets {
+            array,
+            packets: trace.packets,
+        });
+    }
+
+    // Run the full SpotFi pipeline.
+    let spotfi = SpotFi::new(SpotFiConfig::default());
+
+    // Per-AP view: direct-path AoA and its likelihood (Eq. 8).
+    for (i, ap) in aps.iter().enumerate() {
+        let analysis = spotfi.analyze_ap(ap).expect("analysis");
+        match analysis.direct {
+            Some(d) => println!(
+                "AP{}: direct path AoA {:>6.1}°  (truth {:>6.1}°, likelihood {:.2})",
+                i + 1,
+                d.aoa_deg,
+                ap.array.aoa_from_deg(target),
+                d.likelihood
+            ),
+            None => println!("AP{}: no direct path identified", i + 1),
+        }
+    }
+
+    // Fuse everything into a location (Eq. 9).
+    let estimate = spotfi.localize(&aps).expect("localization");
+    println!(
+        "\nSpotFi fix: ({:.2}, {:.2}) m — truth ({:.2}, {:.2}) m — error {:.2} m",
+        estimate.position.x,
+        estimate.position.y,
+        target.x,
+        target.y,
+        estimate.position.distance(target)
+    );
+    assert!(
+        estimate.position.distance(target) < 1.5,
+        "quickstart should localize within 1.5 m"
+    );
+}

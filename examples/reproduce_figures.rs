@@ -1,0 +1,58 @@
+//! Reproduces every figure of the SpotFi evaluation (paper Sec. 4) on the
+//! simulated Fig. 6 testbed and prints the series the paper reports.
+//!
+//! ```text
+//! cargo run --release --example reproduce_figures [fig5|fig7|fig8|fig9|ablation|through-wall|all] [--fast]
+//! ```
+//!
+//! `--fast` trims targets/packets for a quick smoke run; the default runs
+//! the full deployment (all targets, 10 packets per fix) and takes a few
+//! minutes.
+
+use spotfi::testbed::experiments::{ablation, fig5, fig7, fig8, fig9, through_wall, tracking, ExperimentOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let fast = args.iter().any(|a| a == "--fast");
+
+    let opts = if fast {
+        let mut o = ExperimentOptions::fast_test();
+        o.max_targets = Some(6);
+        o
+    } else {
+        ExperimentOptions::default()
+    };
+
+    let t0 = std::time::Instant::now();
+    if which == "fig5" || which == "all" {
+        println!("{}", fig5::render(&fig5::run(&opts)));
+    }
+    if which == "fig7" || which == "all" {
+        for panel in [fig7::Panel::Office, fig7::Panel::Nlos, fig7::Panel::Corridor] {
+            println!("{}", fig7::render(&fig7::run(panel, &opts)));
+        }
+    }
+    if which == "fig8" || which == "all" {
+        println!("{}", fig8::render(&fig8::run(&opts)));
+    }
+    if which == "fig9" || which == "all" {
+        println!("{}", fig9::render_density(&fig9::run_density(&opts)));
+        println!("{}", fig9::render_packets(&fig9::run_packets(&opts)));
+    }
+    if which == "ablation" || which == "all" {
+        println!("{}", ablation::render_channel(&ablation::run_channel_ablation(&opts)));
+        println!("{}", ablation::render_algorithm(&ablation::run_algorithm_ablation(&opts)));
+    }
+    if which == "through-wall" || which == "all" {
+        println!("{}", through_wall::render(&through_wall::run(&opts)));
+    }
+    if which == "tracking" || which == "all" {
+        println!("{}", tracking::render(&tracking::run(&opts)));
+    }
+    eprintln!("(total {:.1} s)", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,162 @@
+//! End-to-end integration tests: simulator → SpotFi pipeline → location,
+//! at full estimator fidelity (default grids).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spotfi::channel::materials::Material;
+use spotfi::core::{ApPackets, SpotFi, SpotFiConfig};
+use spotfi::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+
+fn ap_at(x: f64, y: f64, look: Point) -> AntennaArray {
+    let angle = (look - Point::new(x, y)).angle();
+    AntennaArray::intel5300(
+        Point::new(x, y),
+        angle,
+        spotfi::channel::constants::DEFAULT_CARRIER_HZ,
+    )
+}
+
+fn capture(
+    plan: &Floorplan,
+    target: Point,
+    arrays: &[AntennaArray],
+    cfg: &TraceConfig,
+    packets: usize,
+    seed: u64,
+) -> Vec<ApPackets> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    arrays
+        .iter()
+        .filter_map(|a| {
+            PacketTrace::generate(plan, target, a, cfg, packets, &mut rng).map(|t| ApPackets {
+                array: *a,
+                packets: t.packets,
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn free_space_sub_half_meter() {
+    let plan = Floorplan::empty();
+    let target = Point::new(3.7, 6.1);
+    let center = Point::new(5.0, 5.0);
+    let arrays = [
+        ap_at(0.0, 0.0, center),
+        ap_at(10.0, 0.0, center),
+        ap_at(10.0, 10.0, center),
+        ap_at(0.0, 10.0, center),
+    ];
+    let aps = capture(&plan, target, &arrays, &TraceConfig::commodity(), 10, 1);
+    let est = SpotFi::new(SpotFiConfig::default()).localize(&aps).unwrap();
+    let err = est.position.distance(target);
+    assert!(err < 0.5, "free-space error {} m", err);
+}
+
+#[test]
+fn multipath_room_sub_meter() {
+    let mut plan = Floorplan::empty();
+    plan.add_rect(0.0, 0.0, 12.0, 9.0, Material::CONCRETE);
+    plan.add_wall(Point::new(6.0, 0.0), Point::new(6.0, 4.0), Material::DRYWALL);
+    plan.add_wall(Point::new(3.0, 6.5), Point::new(4.5, 6.5), Material::METAL);
+    let target = Point::new(8.2, 3.4);
+    let center = Point::new(6.0, 4.5);
+    let arrays = [
+        ap_at(0.4, 0.4, center),
+        ap_at(11.6, 0.4, center),
+        ap_at(11.6, 8.6, center),
+        ap_at(0.4, 8.6, center),
+        ap_at(6.0, 8.6, Point::new(6.0, 3.0)),
+    ];
+    let aps = capture(&plan, target, &arrays, &TraceConfig::commodity(), 10, 2);
+    let est = SpotFi::new(SpotFiConfig::default()).localize(&aps).unwrap();
+    let err = est.position.distance(target);
+    // Single-seed smoke bound — the statistical accuracy claims live in
+    // EXPERIMENTS.md over the full 25-target office scenario.
+    assert!(err < 1.5, "multipath room error {} m", err);
+}
+
+#[test]
+fn localization_is_deterministic() {
+    let plan = Floorplan::empty();
+    let target = Point::new(2.0, 7.0);
+    let arrays = [
+        ap_at(0.0, 0.0, target),
+        ap_at(10.0, 0.0, target),
+        ap_at(5.0, 10.0, target),
+    ];
+    let spotfi = SpotFi::new(SpotFiConfig::default());
+    let run = || {
+        let aps = capture(&plan, target, &arrays, &TraceConfig::commodity(), 8, 99);
+        spotfi.localize(&aps).unwrap().position
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.x, b.x);
+    assert_eq!(a.y, b.y);
+}
+
+#[test]
+fn more_packets_do_not_hurt() {
+    // Sec. 4.4.4: accuracy saturates with packets; 40 should be at least
+    // in the same class as 10 (not catastrophically worse).
+    let plan = Floorplan::empty();
+    let target = Point::new(6.5, 3.5);
+    let center = Point::new(5.0, 5.0);
+    let arrays = [
+        ap_at(0.0, 0.0, center),
+        ap_at(10.0, 0.0, center),
+        ap_at(10.0, 10.0, center),
+        ap_at(0.0, 10.0, center),
+    ];
+    let spotfi = SpotFi::new(SpotFiConfig::default());
+    let err_for = |packets: usize| {
+        let aps = capture(&plan, target, &arrays, &TraceConfig::commodity(), packets, 7);
+        spotfi
+            .localize(&aps)
+            .unwrap()
+            .position
+            .distance(target)
+    };
+    let e10 = err_for(10);
+    let e40 = err_for(40);
+    assert!(e40 < e10 + 1.0, "10 pkts: {} m, 40 pkts: {} m", e10, e40);
+}
+
+#[test]
+fn ideal_channel_is_centimeter_accurate() {
+    // Without impairments the pipeline's own error floor should be tiny.
+    let plan = Floorplan::empty();
+    let target = Point::new(4.4, 5.6);
+    let center = Point::new(5.0, 5.0);
+    let arrays = [
+        ap_at(0.0, 0.0, center),
+        ap_at(10.0, 0.0, center),
+        ap_at(10.0, 10.0, center),
+        ap_at(0.0, 10.0, center),
+    ];
+    let aps = capture(&plan, target, &arrays, &TraceConfig::ideal(), 10, 3);
+    let est = SpotFi::new(SpotFiConfig::default()).localize(&aps).unwrap();
+    let err = est.position.distance(target);
+    assert!(err < 0.15, "ideal-channel error {} m", err);
+}
+
+#[test]
+fn per_ap_analysis_matches_geometry() {
+    let plan = Floorplan::empty();
+    let target = Point::new(-2.0, 8.0);
+    let array = ap_at(0.0, 0.0, Point::new(0.0, 5.0));
+    let aps = capture(&plan, target, &[array], &TraceConfig::commodity(), 10, 4);
+    let spotfi = SpotFi::new(SpotFiConfig::default());
+    let analysis = spotfi.analyze_ap(&aps[0]).unwrap();
+    let direct = analysis.direct.expect("direct path identified");
+    let truth = array.aoa_from_deg(target);
+    assert!(
+        (direct.aoa_deg - truth).abs() < 5.0,
+        "AoA {} vs truth {}",
+        direct.aoa_deg,
+        truth
+    );
+    assert!(direct.likelihood > 0.0);
+    assert!(analysis.mean_rssi_dbm < 0.0);
+}

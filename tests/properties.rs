@@ -1,0 +1,188 @@
+//! Property-based integration tests (proptest): invariants of the
+//! simulator-estimator pair over randomized geometry and parameters.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spotfi::core::sanitize::sanitize_csi;
+use spotfi::core::steering::steering_vector;
+use spotfi::core::{find_peaks, music_spectrum, smoothed_csi, SpotFiConfig};
+use spotfi::channel::impairments::apply_sto;
+use spotfi::channel::{synthesize_csi, OfdmConfig};
+use spotfi::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+use spotfi::math::{c64, CMat};
+
+fn test_array() -> AntennaArray {
+    AntennaArray::intel5300(
+        Point::new(0.0, 0.0),
+        std::f64::consts::FRAC_PI_2,
+        spotfi::channel::constants::DEFAULT_CARRIER_HZ,
+    )
+}
+
+/// Builds an ideal CSI matrix for one synthetic path.
+fn single_path_csi(aoa_deg: f64, tof_ns: f64) -> CMat {
+    let cfg = SpotFiConfig::fast_test();
+    let spacing =
+        spotfi::channel::constants::half_wavelength_spacing(cfg.ofdm.carrier_hz);
+    let v = steering_vector(
+        aoa_deg.to_radians().sin(),
+        tof_ns * 1e-9,
+        3,
+        30,
+        spacing,
+        cfg.ofdm.carrier_hz,
+        cfg.ofdm.subcarrier_spacing_hz,
+    );
+    CMat::from_fn(3, 30, |m, n| v[m * 30 + n])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MUSIC recovers a single path's parameters anywhere on the grid.
+    #[test]
+    fn music_recovers_single_path(aoa in -80.0f64..80.0, tof in 5.0f64..350.0) {
+        let cfg = SpotFiConfig::fast_test();
+        let csi = single_path_csi(aoa, tof);
+        let x = smoothed_csi(&csi, &cfg).unwrap();
+        let spec = music_spectrum(&x, &cfg).unwrap();
+        let peaks = find_peaks(&spec, 3);
+        prop_assert!(!peaks.is_empty());
+        prop_assert!((peaks[0].aoa_deg - aoa).abs() <= 3.0,
+            "aoa {} vs {}", peaks[0].aoa_deg, aoa);
+        prop_assert!((peaks[0].tof_ns - tof).abs() <= 6.0,
+            "tof {} vs {}", peaks[0].tof_ns, tof);
+    }
+
+    /// Sanitization makes the estimator's output invariant to any STO.
+    #[test]
+    fn estimates_invariant_to_sto(aoa in -70.0f64..70.0, tof in 10.0f64..200.0,
+                                  sto_ns in -120.0f64..120.0) {
+        let cfg = SpotFiConfig::fast_test();
+        let ofdm = OfdmConfig::intel5300_40mhz();
+        let clean = single_path_csi(aoa, tof);
+        let mut dirty = clean.clone();
+        apply_sto(&mut dirty, &ofdm, sto_ns * 1e-9);
+
+        let f_delta = ofdm.subcarrier_spacing_hz;
+        let run = |csi: &CMat| {
+            let s = sanitize_csi(csi, f_delta).unwrap();
+            let x = smoothed_csi(&s.csi, &cfg).unwrap();
+            let spec = music_spectrum(&x, &cfg).unwrap();
+            find_peaks(&spec, 1)[0]
+        };
+        let a = run(&clean);
+        let b = run(&dirty);
+        prop_assert!((a.aoa_deg - b.aoa_deg).abs() < 0.5,
+            "AoA changed with STO: {} vs {}", a.aoa_deg, b.aoa_deg);
+        prop_assert!((a.tof_ns - b.tof_ns).abs() < 2.0,
+            "relative ToF changed with STO: {} vs {}", a.tof_ns, b.tof_ns);
+    }
+
+    /// The simulator's ground-truth AoA always matches plain geometry, for
+    /// arbitrary AP orientation and target placement (free space).
+    #[test]
+    fn traced_direct_path_matches_geometry(
+        tx in -20.0f64..20.0, ty in 1.0f64..20.0, normal in -3.0f64..3.0
+    ) {
+        let plan = Floorplan::empty();
+        let ap = AntennaArray::intel5300(
+            Point::new(0.0, 0.0),
+            normal,
+            spotfi::channel::constants::DEFAULT_CARRIER_HZ,
+        );
+        let target = Point::new(tx, ty);
+        prop_assume!(target.distance(ap.position) > 0.5);
+        let cfg = spotfi::channel::raytrace::RaytraceConfig::default_for_wavelength(0.056);
+        let paths = spotfi::channel::trace_paths(&plan, target, &ap, &cfg);
+        prop_assert_eq!(paths.len(), 1);
+        let expected = ap.aoa_from_deg(target);
+        prop_assert!((paths[0].aoa_deg() - expected).abs() < 1e-6);
+        // ToF consistent with distance.
+        let expected_tof = target.distance(ap.position)
+            / spotfi::channel::constants::SPEED_OF_LIGHT;
+        prop_assert!((paths[0].tof_s - expected_tof).abs() < 1e-15);
+    }
+
+    /// CSI synthesis and the steering model agree for arbitrary paths: the
+    /// estimator's model is exactly the simulator's physics.
+    #[test]
+    fn synthesis_matches_steering_model(aoa in -1.0f64..1.0, tof in 1.0f64..300.0) {
+        let ofdm = OfdmConfig::intel5300_40mhz();
+        let array = test_array();
+        let path = spotfi::channel::Path {
+            kind: spotfi::channel::PathKind::Direct,
+            length_m: tof * 0.3,
+            tof_s: tof * 1e-9,
+            sin_aoa: aoa,
+            aoa_rad: aoa.asin(),
+            amplitude: 1.0,
+            phase: 0.0,
+            vertices: vec![],
+        };
+        let h = synthesize_csi(&[path], &array, &ofdm);
+        let v = steering_vector(aoa, tof * 1e-9, 3, 30, array.spacing,
+                                ofdm.carrier_hz, ofdm.subcarrier_spacing_hz);
+        // Up to one global phase (the carrier-frequency ToF phase folded
+        // into γ), the synthesized CSI must equal the steering vector.
+        let g = h[(0, 0)] / v[0];
+        for m in 0..3 {
+            for n in 0..30 {
+                let expect = v[m * 30 + n] * g;
+                prop_assert!((h[(m, n)] - expect).abs() < 1e-9,
+                    "mismatch at ({}, {})", m, n);
+            }
+        }
+        prop_assert!((g.abs() - 1.0).abs() < 1e-9);
+    }
+
+    /// RSSI decreases (weakly) with distance in free space.
+    #[test]
+    fn rssi_monotone_in_distance(d1 in 1.0f64..10.0, d2 in 11.0f64..40.0) {
+        let plan = Floorplan::empty();
+        let mut cfg = TraceConfig::commodity();
+        cfg.rssi.shadowing_std_db = 0.0;
+        cfg.rssi.quantize = false;
+        let ap = test_array();
+        let mut rng = StdRng::seed_from_u64(5);
+        let near = PacketTrace::generate(&plan, Point::new(0.0, d1), &ap, &cfg, 1, &mut rng)
+            .unwrap().packets[0].rssi_dbm;
+        let far = PacketTrace::generate(&plan, Point::new(0.0, d2), &ap, &cfg, 1, &mut rng)
+            .unwrap().packets[0].rssi_dbm;
+        prop_assert!(near > far, "near {} dBm vs far {} dBm", near, far);
+    }
+
+    /// Eigendecomposition invariants on random PSD inputs built from CSI.
+    #[test]
+    fn eigen_invariants_on_random_covariances(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = Floorplan::empty();
+        let cfg = TraceConfig::commodity();
+        let target = Point::new(
+            (seed % 17) as f64 * 0.5 - 4.0,
+            3.0 + (seed % 11) as f64 * 0.7,
+        );
+        prop_assume!(target.distance(Point::new(0.0, 0.0)) > 0.5);
+        let trace = PacketTrace::generate(&plan, target, &test_array(), &cfg, 1, &mut rng)
+            .unwrap();
+        let scfg = SpotFiConfig::fast_test();
+        let s = sanitize_csi(&trace.packets[0].csi, scfg.ofdm.subcarrier_spacing_hz).unwrap();
+        let x = smoothed_csi(&s.csi, &scfg).unwrap();
+        let r = x.mul_hermitian_self();
+        let e = spotfi::math::hermitian_eigen(&r);
+        // PSD: eigenvalues ≥ 0; sorted; reconstruction accurate.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        prop_assert!(*e.values.last().unwrap() > -1e-6 * e.values[0].abs().max(1e-12));
+        let recon_err = (&e.reconstruct() - &r).frobenius_norm()
+            / r.frobenius_norm().max(1e-12);
+        prop_assert!(recon_err < 1e-7, "reconstruction error {}", recon_err);
+    }
+}
+
+// Re-export the c64 type so the prop tests compile standalone.
+#[allow(unused)]
+fn _type_check(_: c64) {}

@@ -1,0 +1,131 @@
+//! Cross-crate sanitization tests: Algorithm 1 against the simulator's
+//! clock impairments — the invariant the whole direct-path machinery rests
+//! on.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spotfi::channel::impairments::{ClockModel, Impairments};
+use spotfi::core::sanitize::sanitize_csi;
+use spotfi::core::{SpotFi, SpotFiConfig};
+use spotfi::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+
+fn ap() -> AntennaArray {
+    AntennaArray::intel5300(
+        Point::new(0.0, 0.0),
+        std::f64::consts::FRAC_PI_2,
+        spotfi::channel::constants::DEFAULT_CARRIER_HZ,
+    )
+}
+
+/// A channel that is static except for the clocks: per-packet STO varies,
+/// but the multipath does not.
+fn clock_only_config() -> TraceConfig {
+    let mut cfg = TraceConfig::commodity();
+    cfg.impairments = Impairments {
+        clock: Some(ClockModel::typical()),
+        random_carrier_phase: true,
+        snr_db: None,
+        quantize: false,
+        path_jitter: None,
+    };
+    cfg.diffuse = None;
+    cfg
+}
+
+#[test]
+fn sanitized_csi_identical_across_packets_with_different_stos() {
+    let plan = Floorplan::empty();
+    let mut rng = StdRng::seed_from_u64(10);
+    let cfg = clock_only_config();
+    let trace =
+        PacketTrace::generate(&plan, Point::new(3.0, 6.0), &ap(), &cfg, 20, &mut rng).unwrap();
+
+    // Verify the premise: the injected STOs really do differ.
+    let stos: Vec<f64> = trace.packets.iter().map(|p| p.injected_sto_s).collect();
+    let spread = stos.iter().cloned().fold(f64::MIN, f64::max)
+        - stos.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread > 5e-9, "STO spread {} s too small to test", spread);
+
+    // After Algorithm 1 (and removing the random carrier phase), all
+    // packets' CSI must coincide: Fig. 5(b).
+    let f_delta = cfg.ofdm.subcarrier_spacing_hz;
+    let reference = {
+        let s = sanitize_csi(&trace.packets[0].csi, f_delta).unwrap().csi;
+        let phase_ref = s[(0, 0)];
+        s.scale(phase_ref.conj().scale(1.0 / phase_ref.norm_sqr().sqrt().max(1e-30)))
+    };
+    for p in &trace.packets[1..] {
+        let s = sanitize_csi(&p.csi, f_delta).unwrap().csi;
+        let phase = s[(0, 0)];
+        let aligned = s.scale(phase.conj().scale(1.0 / phase.norm_sqr().sqrt().max(1e-30)));
+        let d = (&aligned - &reference).max_abs();
+        assert!(d < 1e-6, "sanitized packets differ by {}", d);
+    }
+}
+
+#[test]
+fn tof_estimates_cluster_only_after_sanitization() {
+    // Without sanitization the 25 ns detection jitter would smear ToF
+    // estimates across packets; the pipeline (which sanitizes) must produce
+    // a tight direct-path ToF cluster.
+    let plan = Floorplan::empty();
+    let mut rng = StdRng::seed_from_u64(11);
+    let cfg = clock_only_config();
+    let trace =
+        PacketTrace::generate(&plan, Point::new(2.0, 8.0), &ap(), &cfg, 10, &mut rng).unwrap();
+
+    let spotfi = SpotFi::new(SpotFiConfig::default());
+    let analysis = spotfi
+        .analyze_ap(&spotfi::ApPackets {
+            array: ap(),
+            packets: trace.packets.clone(),
+        })
+        .unwrap();
+    let direct = analysis.direct.expect("direct path");
+    // Its cluster ToF std must be far below the 25 ns clock jitter.
+    let cluster = analysis
+        .clustering
+        .clusters
+        .iter()
+        .min_by(|a, b| {
+            (a.mean_aoa_deg - direct.aoa_deg)
+                .abs()
+                .partial_cmp(&(b.mean_aoa_deg - direct.aoa_deg).abs())
+                .unwrap()
+        })
+        .unwrap();
+    assert!(
+        cluster.tof_std_ns < 5.0,
+        "direct cluster ToF std {} ns — sanitization failed",
+        cluster.tof_std_ns
+    );
+}
+
+#[test]
+fn estimated_sto_tracks_injected_differences() {
+    let plan = Floorplan::empty();
+    let mut rng = StdRng::seed_from_u64(12);
+    let cfg = clock_only_config();
+    let trace =
+        PacketTrace::generate(&plan, Point::new(4.0, 5.0), &ap(), &cfg, 10, &mut rng).unwrap();
+    let f_delta = cfg.ofdm.subcarrier_spacing_hz;
+
+    let est: Vec<f64> = trace
+        .packets
+        .iter()
+        .map(|p| sanitize_csi(&p.csi, f_delta).unwrap().estimated_sto_s)
+        .collect();
+    // Estimated STO differences must match injected differences (the
+    // common channel-delay component cancels).
+    for i in 1..trace.packets.len() {
+        let injected = trace.packets[i].injected_sto_s - trace.packets[0].injected_sto_s;
+        let estimated = est[i] - est[0];
+        assert!(
+            (injected - estimated).abs() < 1e-10,
+            "packet {}: injected Δ {} vs estimated Δ {}",
+            i,
+            injected,
+            estimated
+        );
+    }
+}
