@@ -69,7 +69,12 @@ pub fn ap_spectrum(
             continue;
         };
         // Normalize per packet so one high-SNR packet doesn't dominate.
-        let max = spec.values.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+        let max = spec
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            .max(1e-12);
         match &mut sum {
             None => {
                 sum = Some(spec.values.iter().map(|v| v / max).collect());
@@ -186,8 +191,7 @@ pub fn arraytrack_localize_in_bounds(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use spotfi_channel::Rng;
     use spotfi_channel::{Floorplan, PacketTrace, TraceConfig};
 
     fn ap_array(x: f64, y: f64) -> AntennaArray {
@@ -213,8 +217,13 @@ mod tests {
         let plan = Floorplan::empty();
         let target = Point::new(3.5, 6.0);
         let tc = TraceConfig::commodity();
-        let mut rng = StdRng::seed_from_u64(3);
-        let arrays = [ap_array(0.0, 0.0), ap_array(10.0, 0.0), ap_array(10.0, 10.0), ap_array(0.0, 10.0)];
+        let mut rng = Rng::seed_from_u64(3);
+        let arrays = [
+            ap_array(0.0, 0.0),
+            ap_array(10.0, 0.0),
+            ap_array(10.0, 10.0),
+            ap_array(0.0, 10.0),
+        ];
         let traces: Vec<PacketTrace> = arrays
             .iter()
             .map(|a| PacketTrace::generate(&plan, target, a, &tc, 8, &mut rng).unwrap())
@@ -233,7 +242,7 @@ mod tests {
     fn needs_two_aps() {
         let plan = Floorplan::empty();
         let tc = TraceConfig::commodity();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let a = ap_array(0.0, 0.0);
         let t = PacketTrace::generate(&plan, Point::new(3.0, 3.0), &a, &tc, 4, &mut rng).unwrap();
         let aps: Vec<(AntennaArray, &[CsiPacket])> = vec![(a, t.packets.as_slice())];
@@ -256,7 +265,7 @@ mod tests {
     fn spectrum_peak_matches_bearing() {
         let plan = Floorplan::empty();
         let tc = TraceConfig::commodity();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let a = ap_array(0.0, 0.0);
         let target = Point::new(2.0, 7.0);
         let t = PacketTrace::generate(&plan, target, &a, &tc, 6, &mut rng).unwrap();

@@ -84,9 +84,7 @@ impl MusicAoaSpectrum {
             let right_ok = i + 1 == n || self.values[i + 1] <= v;
             // Boundary points count only if strictly above their neighbor.
             let interior = i > 0 && i + 1 < n;
-            if (interior && left_ok && right_ok)
-                || (!interior && left_ok && right_ok && n > 1)
-            {
+            if left_ok && right_ok && (interior || n > 1) {
                 out.push((self.aoa_grid_deg.value(i), v));
             }
         }
@@ -219,7 +217,11 @@ mod tests {
     fn single_path_peak_at_truth() {
         let csi = csi_for_paths(&[(25.0, 40.0, c64::ONE)]);
         let spec = music_aoa_spectrum(&csi, &cfg()).unwrap();
-        assert!((spec.argmax_deg() - 25.0).abs() <= 2.0, "{}", spec.argmax_deg());
+        assert!(
+            (spec.argmax_deg() - 25.0).abs() <= 2.0,
+            "{}",
+            spec.argmax_deg()
+        );
     }
 
     #[test]
@@ -294,11 +296,7 @@ mod tests {
         let spec = music_aoa_spectrum(&csi, &cfg()).unwrap();
         assert!(spec.values.iter().all(|v| v.is_finite() && *v > 0.0));
         let peak = spec.argmax_deg();
-        assert!(
-            (-90.0..=90.0).contains(&peak),
-            "peak {} out of range",
-            peak
-        );
+        assert!((-90.0..=90.0).contains(&peak), "peak {} out of range", peak);
         // This limitation is exactly why the paper needs joint AoA/ToF
         // estimation: document that the coherent case is NOT resolved.
         let both_resolved = {
@@ -307,6 +305,9 @@ mod tests {
                 && peaks.iter().any(|p| (p.0 + 30.0).abs() < 3.0)
                 && peaks.iter().any(|p| (p.0 - 40.0).abs() < 3.0)
         };
-        assert!(!both_resolved, "3-antenna MUSIC should not resolve coherent paths");
+        assert!(
+            !both_resolved,
+            "3-antenna MUSIC should not resolve coherent paths"
+        );
     }
 }

@@ -91,7 +91,11 @@ mod tests {
             Point::new(0.0, 10.0),
         ];
         let est = rssi_localize(&perfect_obs(target, &aps), &model()).unwrap();
-        assert!(est.distance(target) < 0.05, "error {}", est.distance(target));
+        assert!(
+            est.distance(target) < 0.05,
+            "error {}",
+            est.distance(target)
+        );
     }
 
     #[test]
@@ -116,7 +120,10 @@ mod tests {
 
     #[test]
     fn requires_three_observations() {
-        let obs = perfect_obs(Point::new(1.0, 1.0), &[Point::new(0.0, 0.0), Point::new(5.0, 0.0)]);
+        let obs = perfect_obs(
+            Point::new(1.0, 1.0),
+            &[Point::new(0.0, 0.0), Point::new(5.0, 0.0)],
+        );
         assert!(matches!(
             rssi_localize(&obs, &model()),
             Err(SpotFiError::InsufficientAps { usable: 2 })

@@ -63,7 +63,7 @@ pub fn select_cupid(clustering: &Clustering, estimates: &[PathEstimate]) -> Opti
     for c in &clustering.clusters {
         for &m in &c.members {
             let p = estimates.get(m)?;
-            if best.map_or(true, |(bp, _)| p.power > bp) {
+            if best.is_none_or(|(bp, _)| p.power > bp) {
                 best = Some((
                     p.power,
                     SelectedPath {

@@ -1,2 +1,194 @@
-//! Criterion benchmark crate — see `benches/`. The library target exists
-//! only so the package builds standalone.
+//! A small in-repo benchmark harness (no external deps).
+//!
+//! The crates-io registry is unreachable in this build environment, so the
+//! workspace cannot use `criterion`. This harness covers what the perf
+//! trajectory needs: warm up, run a measured batch of iterations, report
+//! robust statistics (median of per-iteration wall times across batches),
+//! and serialize everything to a JSON report (`BENCH_pipeline.json`).
+
+use std::time::Instant;
+
+/// One benchmark's timing summary. All times are nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name, e.g. `"music_spectrum_181x251"`.
+    pub name: String,
+    /// Median per-iteration time across batches, ns.
+    pub median_ns: f64,
+    /// Minimum per-iteration time across batches, ns.
+    pub min_ns: f64,
+    /// Mean per-iteration time across batches, ns.
+    pub mean_ns: f64,
+    /// Total iterations measured (across all batches).
+    pub iterations: u64,
+}
+
+impl BenchResult {
+    /// Median time in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median_ns / 1e6
+    }
+}
+
+/// Harness configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Target wall time spent measuring one benchmark, seconds.
+    pub measure_s: f64,
+    /// Target wall time spent warming up, seconds.
+    pub warmup_s: f64,
+    /// Number of measured batches (the statistic is computed across them).
+    pub batches: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            measure_s: 1.0,
+            warmup_s: 0.2,
+            batches: 10,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// A quicker profile (~5× faster than default) for smoke runs.
+    pub fn fast() -> Self {
+        BenchConfig {
+            measure_s: 0.2,
+            warmup_s: 0.05,
+            batches: 5,
+        }
+    }
+}
+
+/// Times `f`, returning robust per-iteration statistics.
+///
+/// The function's return value is passed through [`std::hint::black_box`]
+/// so the optimizer cannot delete the computation.
+pub fn bench<T, F: FnMut() -> T>(cfg: &BenchConfig, name: &str, mut f: F) -> BenchResult {
+    // Warmup: also estimates the per-iteration cost.
+    let warmup_start = Instant::now();
+    let mut warmup_iters = 0u64;
+    while warmup_start.elapsed().as_secs_f64() < cfg.warmup_s || warmup_iters == 0 {
+        std::hint::black_box(f());
+        warmup_iters += 1;
+    }
+    let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+
+    // Split the measurement budget into batches of ≥ 1 iteration.
+    let total_iters = ((cfg.measure_s * 1e9 / est_ns).ceil() as u64).max(cfg.batches as u64);
+    let per_batch = (total_iters / cfg.batches as u64).max(1);
+
+    let mut batch_ns: Vec<f64> = Vec::with_capacity(cfg.batches);
+    let mut iterations = 0u64;
+    for _ in 0..cfg.batches {
+        let t = Instant::now();
+        for _ in 0..per_batch {
+            std::hint::black_box(f());
+        }
+        batch_ns.push(t.elapsed().as_nanos() as f64 / per_batch as f64);
+        iterations += per_batch;
+    }
+    batch_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_ns = if batch_ns.len() % 2 == 1 {
+        batch_ns[batch_ns.len() / 2]
+    } else {
+        0.5 * (batch_ns[batch_ns.len() / 2 - 1] + batch_ns[batch_ns.len() / 2])
+    };
+    BenchResult {
+        name: name.to_string(),
+        median_ns,
+        min_ns: batch_ns[0],
+        mean_ns: batch_ns.iter().sum::<f64>() / batch_ns.len() as f64,
+        iterations,
+    }
+}
+
+/// Serializes results plus free-form metadata to a JSON object:
+/// `{"meta": {...}, "benchmarks": [{"name": ..., "median_ns": ...}, ...]}`.
+///
+/// Metadata values are emitted verbatim, so pass valid JSON fragments
+/// (numbers, `"quoted strings"`, booleans).
+pub fn to_json(meta: &[(&str, String)], results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"meta\": {\n");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        let comma = if i + 1 == meta.len() { "" } else { "," };
+        out.push_str(&format!("    {}: {}{}\n", json_string(k), v, comma));
+    }
+    out.push_str("  },\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"iterations\": {}}}{}\n",
+            json_string(&r.name),
+            r.median_ns,
+            r.min_ns,
+            r.mean_ns,
+            r.iterations,
+            comma
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let cfg = BenchConfig {
+            measure_s: 0.02,
+            warmup_s: 0.005,
+            batches: 3,
+        };
+        let mut x = 0u64;
+        let r = bench(&cfg, "spin", || {
+            for i in 0..1000u64 {
+                x = x.wrapping_add(i * i);
+            }
+            x
+        });
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.iterations >= 3);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        let j = to_json(
+            &[("threads", "8".to_string())],
+            &[BenchResult {
+                name: "x".into(),
+                median_ns: 1.0,
+                min_ns: 1.0,
+                mean_ns: 1.0,
+                iterations: 5,
+            }],
+        );
+        assert!(j.contains("\"threads\": 8"));
+        assert!(j.contains("\"name\": \"x\""));
+    }
+}

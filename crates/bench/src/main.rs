@@ -1,0 +1,313 @@
+//! `spotfi-bench` — times the pipeline's hot kernels and the end-to-end
+//! multi-AP localize, and writes `BENCH_pipeline.json`.
+//!
+//! ```text
+//! spotfi-bench [--fast] [--out PATH]
+//! ```
+//!
+//! Three groups of measurements:
+//!
+//! 1. **Kernels** — Hermitian eigendecomposition (30×30), CSI sanitization,
+//!    smoothed-matrix construction, noise-subspace projection, one MUSIC
+//!    sweep (cached/serial and with an 8-thread budget).
+//! 2. **Baseline** — a faithful re-implementation of the seed's
+//!    `music_spectrum` (noise-eigenvector-sum projector, steering factors
+//!    rebuilt per call, full block matrix) to quantify the serial
+//!    algorithmic speedup.
+//! 3. **End-to-end** — 4-AP × 10-packet localize at `threads = 1` and
+//!    `threads = 8`.
+
+use spotfi_bench::{bench, to_json, BenchConfig, BenchResult};
+use spotfi_channel::constants::DEFAULT_CARRIER_HZ;
+use spotfi_channel::{AntennaArray, CsiPacket, Floorplan, PacketTrace, Point, Rng, TraceConfig};
+use spotfi_core::music::noise_subspace;
+use spotfi_core::steering::{omega_powers, phi};
+use spotfi_core::{
+    music_spectrum_cached, sanitize_csi, smoothed_csi, smoothed_csi_into, ApPackets, MusicScratch,
+    MusicSpectrum, RuntimeConfig, SpotFi, SpotFiConfig, SteeringCache,
+};
+use spotfi_math::eigen::hermitian_eigen;
+use spotfi_math::{c64, CMat};
+
+/// The seed implementation's spectrum evaluation, reproduced for an honest
+/// like-for-like baseline: noise projector summed from ~25 noise
+/// eigenvectors, Φ/Ω steering powers rebuilt inside the call, and the full
+/// (non-Hermitian-halved) block matrix per ToF.
+fn seed_equivalent_music_spectrum(smoothed: &CMat, cfg: &SpotFiConfig) -> MusicSpectrum {
+    let ns = cfg.smoothing.sub_subcarriers;
+    let ms = cfg.smoothing.sub_antennas;
+
+    let r = smoothed.mul_hermitian_self();
+    let eig = hermitian_eigen(&r);
+    let dim = eig.values.len();
+    let lmax = eig.values[0].max(0.0);
+    let threshold = cfg.music.noise_threshold_ratio * lmax;
+    let by_threshold = eig.values.iter().filter(|&&l| l >= threshold).count();
+    let signal_dimension = by_threshold.min(cfg.music.max_paths).max(1);
+    let mut g = CMat::zeros(dim, dim);
+    for k in signal_dimension..dim {
+        let v = eig.vectors.col(k);
+        for j in 0..dim {
+            let vj = v[j].conj();
+            for i in 0..dim {
+                g[(i, j)] += v[i] * vj;
+            }
+        }
+    }
+
+    let aoa_grid = cfg.music.aoa_grid_deg;
+    let tof_grid = cfg.music.tof_grid_ns;
+    let n_aoa = aoa_grid.len();
+    let n_tof = tof_grid.len();
+    let mut values = vec![0.0f64; n_aoa * n_tof];
+
+    let spacing = spotfi_channel::constants::half_wavelength_spacing(cfg.ofdm.carrier_hz);
+    let phi_pows: Vec<Vec<c64>> = (0..n_aoa)
+        .map(|ia| {
+            let theta = aoa_grid.value(ia).to_radians();
+            let step = phi(theta.sin(), spacing, cfg.ofdm.carrier_hz);
+            let mut pows = Vec::with_capacity(ms);
+            let mut cur = c64::ONE;
+            for _ in 0..ms {
+                pows.push(cur);
+                cur *= step;
+            }
+            pows
+        })
+        .collect();
+
+    let mut blocks = vec![c64::ZERO; ms * ms];
+    for it in 0..n_tof {
+        let tau = tof_grid.value(it) * 1e-9;
+        let w = omega_powers(tau, ns, cfg.ofdm.subcarrier_spacing_hz);
+        for ma in 0..ms {
+            for mb in 0..ms {
+                let mut acc = c64::ZERO;
+                for j in 0..ns {
+                    let wj = w[j];
+                    let col_base = mb * ns + j;
+                    let mut inner = c64::ZERO;
+                    for i in 0..ns {
+                        inner += w[i].conj() * g[(ma * ns + i, col_base)];
+                    }
+                    acc += inner * wj;
+                }
+                blocks[ma * ms + mb] = acc;
+            }
+        }
+        for ia in 0..n_aoa {
+            let p = &phi_pows[ia];
+            let mut denom = c64::ZERO;
+            for ma in 0..ms {
+                for mb in 0..ms {
+                    denom += p[ma].conj() * blocks[ma * ms + mb] * p[mb];
+                }
+            }
+            values[ia * n_tof + it] = 1.0 / denom.re.max(1e-12);
+        }
+    }
+
+    MusicSpectrum {
+        aoa_grid,
+        tof_grid,
+        values,
+        signal_dimension,
+    }
+}
+
+fn ap_array(x: f64, y: f64, toward: Point) -> AntennaArray {
+    let angle = (toward - Point::new(x, y)).angle();
+    AntennaArray::intel5300(Point::new(x, y), angle, DEFAULT_CARRIER_HZ)
+}
+
+/// 4 corner APs × `packets` packets each, free space, fixed seeds.
+fn four_ap_fixture(packets: usize) -> Vec<ApPackets> {
+    let plan = Floorplan::empty();
+    let target = Point::new(4.0, 6.0);
+    let center = Point::new(5.0, 5.0);
+    let cfg = TraceConfig::commodity();
+    [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| {
+            let array = ap_array(x, y, center);
+            let mut rng = Rng::seed_from_u64(100 + i as u64);
+            let trace = PacketTrace::generate(&plan, target, &array, &cfg, packets, &mut rng)
+                .expect("free-space target audible");
+            ApPackets {
+                array,
+                packets: trace.packets,
+            }
+        })
+        .collect()
+}
+
+fn spotfi_with_threads(threads: usize) -> SpotFi {
+    SpotFi::new(SpotFiConfig {
+        runtime: RuntimeConfig::with_threads(threads),
+        ..SpotFiConfig::default()
+    })
+}
+
+fn median_of(results: &[BenchResult], name: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.name == name)
+        .map(|r| r.median_ns)
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let cfg = if fast {
+        BenchConfig::fast()
+    } else {
+        BenchConfig::default()
+    };
+    // End-to-end runs are ~10⁴× slower than the kernels; give them more wall
+    // time but fewer batches so the whole suite stays tractable.
+    let e2e_cfg = BenchConfig {
+        measure_s: cfg.measure_s * 3.0,
+        warmup_s: cfg.warmup_s,
+        batches: 5,
+    };
+
+    let spotfi_cfg = SpotFiConfig::default();
+    let aps = four_ap_fixture(10);
+    let packet: &CsiPacket = &aps[0].packets[0];
+
+    // Shared inputs for the kernel benches.
+    let sanitized = sanitize_csi(&packet.csi, spotfi_cfg.ofdm.subcarrier_spacing_hz)
+        .expect("fixture packet sanitizes");
+    let smoothed = smoothed_csi(&sanitized.csi, &spotfi_cfg).expect("fixture packet smooths");
+    let cov = smoothed.mul_hermitian_self();
+    let cache = SteeringCache::new(&spotfi_cfg);
+
+    // Sanity: the optimized spectrum must agree with the seed-equivalent
+    // baseline before we publish a speedup over it.
+    {
+        let mut scratch = MusicScratch::new(&spotfi_cfg);
+        let opt = music_spectrum_cached(&smoothed, &spotfi_cfg, &cache, 1, &mut scratch)
+            .expect("spectrum");
+        let base = seed_equivalent_music_spectrum(&smoothed, &spotfi_cfg);
+        let (ao, to, _) = opt.argmax();
+        let (ab, tb, _) = base.argmax();
+        assert_eq!(
+            (ao, to),
+            (ab, tb),
+            "optimized spectrum diverged from seed baseline"
+        );
+        let max_rel = opt
+            .values
+            .iter()
+            .zip(&base.values)
+            .map(|(a, b)| (a - b).abs() / b.abs().max(1e-30))
+            .fold(0.0f64, f64::max);
+        assert!(max_rel < 1e-6, "spectrum mismatch vs baseline: {}", max_rel);
+        eprintln!("baseline agreement: max relative deviation {:.2e}", max_rel);
+    }
+
+    let mut results: Vec<BenchResult> = Vec::new();
+    let mut run = |name: &str, c: &BenchConfig, f: &mut dyn FnMut()| {
+        eprintln!("benchmarking {} …", name);
+        let r = bench(c, name, f);
+        eprintln!("  {:>12.1} ns/iter (median)", r.median_ns);
+        results.push(r);
+    };
+
+    // --- Kernels -----------------------------------------------------------
+    run("hermitian_eigen_30x30", &cfg, &mut || {
+        std::hint::black_box(hermitian_eigen(&cov));
+    });
+    run("sanitize_csi", &cfg, &mut || {
+        std::hint::black_box(
+            sanitize_csi(&packet.csi, spotfi_cfg.ofdm.subcarrier_spacing_hz).unwrap(),
+        );
+    });
+    let mut smooth_buf = CMat::zeros(0, 0);
+    run("smoothed_csi_into", &cfg, &mut || {
+        smoothed_csi_into(&sanitized.csi, &spotfi_cfg, &mut smooth_buf).unwrap();
+    });
+    run("noise_subspace", &cfg, &mut || {
+        std::hint::black_box(noise_subspace(&smoothed, &spotfi_cfg).unwrap());
+    });
+
+    let mut scratch = MusicScratch::new(&spotfi_cfg);
+    run("music_spectrum_cached_t1", &cfg, &mut || {
+        std::hint::black_box(
+            music_spectrum_cached(&smoothed, &spotfi_cfg, &cache, 1, &mut scratch).unwrap(),
+        );
+    });
+    run("music_spectrum_cached_t8", &cfg, &mut || {
+        std::hint::black_box(
+            music_spectrum_cached(&smoothed, &spotfi_cfg, &cache, 8, &mut scratch).unwrap(),
+        );
+    });
+    run("music_spectrum_seed_equivalent", &cfg, &mut || {
+        std::hint::black_box(seed_equivalent_music_spectrum(&smoothed, &spotfi_cfg));
+    });
+
+    // --- End-to-end --------------------------------------------------------
+    let serial = spotfi_with_threads(1);
+    run("analyze_ap_10pkt_t1", &e2e_cfg, &mut || {
+        std::hint::black_box(serial.analyze_ap(&aps[0]).unwrap());
+    });
+    run("localize_4ap_10pkt_t1", &e2e_cfg, &mut || {
+        std::hint::black_box(serial.localize(&aps).unwrap());
+    });
+    let threaded = spotfi_with_threads(8);
+    run("localize_4ap_10pkt_t8", &e2e_cfg, &mut || {
+        std::hint::black_box(threaded.localize(&aps).unwrap());
+    });
+
+    // --- Report ------------------------------------------------------------
+    let t1 = median_of(&results, "localize_4ap_10pkt_t1");
+    let t8 = median_of(&results, "localize_4ap_10pkt_t8");
+    let music_opt = median_of(&results, "music_spectrum_cached_t1");
+    let music_seed = median_of(&results, "music_spectrum_seed_equivalent");
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let meta: Vec<(&str, String)> = vec![
+        (
+            "profile",
+            spotfi_bench::json_string(if fast { "fast" } else { "default" }),
+        ),
+        ("available_parallelism", hw_threads.to_string()),
+        (
+            "aoa_grid_points",
+            spotfi_cfg.music.aoa_grid_deg.len().to_string(),
+        ),
+        (
+            "tof_grid_points",
+            spotfi_cfg.music.tof_grid_ns.len().to_string(),
+        ),
+        ("aps", "4".to_string()),
+        ("packets_per_ap", "10".to_string()),
+        (
+            "serial_music_speedup_vs_seed",
+            format!("{:.3}", music_seed / music_opt),
+        ),
+        ("e2e_speedup_t8_vs_t1", format!("{:.3}", t1 / t8)),
+    ];
+    let json = to_json(&meta, &results);
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    eprintln!("\nwrote {}", out_path);
+    eprintln!(
+        "serial MUSIC speedup vs seed-equivalent: {:.2}×; end-to-end t8/t1 speedup: {:.2}× \
+         (on {} hardware thread{})",
+        music_seed / music_opt,
+        t1 / t8,
+        hw_threads,
+        if hw_threads == 1 { "" } else { "s" },
+    );
+}

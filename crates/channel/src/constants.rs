@@ -47,7 +47,11 @@ mod tests {
     #[test]
     fn wavelength_at_5ghz() {
         let l = wavelength(DEFAULT_CARRIER_HZ);
-        assert!(l > 0.05 && l < 0.06, "5.32 GHz wavelength ≈ 5.6 cm, got {}", l);
+        assert!(
+            l > 0.05 && l < 0.06,
+            "5.32 GHz wavelength ≈ 5.6 cm, got {}",
+            l
+        );
         assert!((half_wavelength_spacing(DEFAULT_CARRIER_HZ) - l / 2.0).abs() < 1e-15);
     }
 
@@ -55,6 +59,9 @@ mod tests {
     fn reported_grid_spans_under_40mhz() {
         let span = (INTEL5300_NUM_SUBCARRIERS - 1) as f64 * INTEL5300_SUBCARRIER_SPACING_HZ;
         assert!(span < 40.0e6, "reported grid must fit in channel bandwidth");
-        assert!(span > 30.0e6, "reported grid should span most of the channel");
+        assert!(
+            span > 30.0e6,
+            "reported grid should span most of the channel"
+        );
     }
 }

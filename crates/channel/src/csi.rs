@@ -29,9 +29,9 @@ pub fn synthesize_csi(paths: &[Path], array: &AntennaArray, ofdm: &OfdmConfig) -
     for path in paths {
         // Per-antenna spatial phase increment at the carrier:
         // −2π·d·sinθ·f_c/c per antenna step (paper Eq. 1).
-        let spatial_step = -2.0 * std::f64::consts::PI * array.spacing * path.sin_aoa
-            * ofdm.carrier_hz
-            / SPEED_OF_LIGHT;
+        let spatial_step =
+            -2.0 * std::f64::consts::PI * array.spacing * path.sin_aoa * ofdm.carrier_hz
+                / SPEED_OF_LIGHT;
         let gain = c64::from_polar(path.amplitude, path.phase);
         for n in 0..n_sub {
             // Full ToF phase at the absolute subcarrier frequency; the f_1
@@ -119,7 +119,9 @@ mod tests {
         let arr = test_array();
         let aoa_deg = 30.0;
         let h = synthesize_csi(&[make_path(20.0, aoa_deg, 1.0)], &arr, &ofdm);
-        let expected = -2.0 * std::f64::consts::PI * arr.spacing
+        let expected = -2.0
+            * std::f64::consts::PI
+            * arr.spacing
             * aoa_deg.to_radians().sin()
             * ofdm.carrier_hz
             / SPEED_OF_LIGHT;
@@ -156,8 +158,8 @@ mod tests {
         let arr = test_array();
         let p1 = make_path(20.0, 10.0, 1.0);
         let p2 = make_path(45.0, -35.0, 0.5);
-        let h1 = synthesize_csi(&[p1.clone()], &arr, &ofdm);
-        let h2 = synthesize_csi(&[p2.clone()], &arr, &ofdm);
+        let h1 = synthesize_csi(std::slice::from_ref(&p1), &arr, &ofdm);
+        let h2 = synthesize_csi(std::slice::from_ref(&p2), &arr, &ofdm);
         let h12 = synthesize_csi(&[p1, p2], &arr, &ofdm);
         let sum = &h1 + &h2;
         assert!((&h12 - &sum).max_abs() < 1e-12);

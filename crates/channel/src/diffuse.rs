@@ -18,7 +18,7 @@
 //! power relative to the specular paths. Per packet they are re-jittered
 //! strongly (they are the most motion-sensitive component).
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::raytrace::{Path, PathKind};
 use crate::rng::{normal, standard_normal, uniform_phase};
@@ -71,7 +71,7 @@ impl DiffuseConfig {
     ///
     /// `specular` must be non-empty; the total diffuse power is
     /// `relative_power_db` below the total specular power.
-    pub fn generate<R: Rng + ?Sized>(&self, specular: &[Path], rng: &mut R) -> Vec<Path> {
+    pub fn generate(&self, specular: &[Path], rng: &mut Rng) -> Vec<Path> {
         if specular.is_empty() || self.num_paths == 0 {
             return Vec::new();
         }
@@ -93,7 +93,7 @@ impl DiffuseConfig {
                 p.amplitude * p.amplitude
             }
         };
-        let total: f64 = specular.iter().map(|p| parent_weight(p)).sum();
+        let total: f64 = specular.iter().map(parent_weight).sum();
 
         // Persistent one-sided displacement of each parent's scatter
         // cluster.
@@ -167,8 +167,7 @@ impl DiffuseConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Rng;
 
     fn specular() -> Vec<Path> {
         vec![Path {
@@ -186,7 +185,7 @@ mod tests {
     #[test]
     fn power_normalized_to_target() {
         let cfg = DiffuseConfig::typical();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let d = cfg.generate(&specular(), &mut rng);
         assert_eq!(d.len(), 24);
         let sp: f64 = specular().iter().map(|p| p.amplitude * p.amplitude).sum();
@@ -198,7 +197,7 @@ mod tests {
     #[test]
     fn delays_start_at_earliest_specular() {
         let cfg = DiffuseConfig::typical();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let d = cfg.generate(&specular(), &mut rng);
         for p in &d {
             assert!(p.tof_s >= 20e-9 - 1e-15, "tof {}", p.tof_s);
@@ -217,7 +216,7 @@ mod tests {
             cluster_center_offset_deg: 0.0,
             ..DiffuseConfig::typical()
         };
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let mut paths = specular();
         let refl_aoa = -0.5f64;
         paths.push(Path {
@@ -246,20 +245,24 @@ mod tests {
             uniform_fraction: 0.0,
             ..DiffuseConfig::typical()
         };
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::seed_from_u64(6);
         let d = cfg.generate(&specular(), &mut rng);
         assert_eq!(d.len(), cfg.num_paths);
         // Spread far wider than one cluster.
         let aoas: Vec<f64> = d.iter().map(|p| p.aoa_rad.to_degrees()).collect();
         let span = aoas.iter().cloned().fold(f64::MIN, f64::max)
             - aoas.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(span > 60.0, "background should span the floor, got {}°", span);
+        assert!(
+            span > 60.0,
+            "background should span the floor, got {}°",
+            span
+        );
     }
 
     #[test]
     fn empty_inputs() {
         let cfg = DiffuseConfig::typical();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         assert!(cfg.generate(&[], &mut rng).is_empty());
         let zero = DiffuseConfig {
             num_paths: 0,
@@ -271,8 +274,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let cfg = DiffuseConfig::typical();
-        let a = cfg.generate(&specular(), &mut StdRng::seed_from_u64(9));
-        let b = cfg.generate(&specular(), &mut StdRng::seed_from_u64(9));
+        let a = cfg.generate(&specular(), &mut Rng::seed_from_u64(9));
+        let b = cfg.generate(&specular(), &mut Rng::seed_from_u64(9));
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.amplitude, y.amplitude);
             assert_eq!(x.tof_s, y.tof_s);

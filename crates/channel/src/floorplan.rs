@@ -65,7 +65,14 @@ impl Floorplan {
 
     /// Adds the four walls of an axis-aligned rectangle with corners
     /// `(x0, y0)` and `(x1, y1)`.
-    pub fn add_rect(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, material: Material) -> &mut Self {
+    pub fn add_rect(
+        &mut self,
+        x0: f64,
+        y0: f64,
+        x1: f64,
+        y1: f64,
+        material: Material,
+    ) -> &mut Self {
         let (xa, xb) = (x0.min(x1), x0.max(x1));
         let (ya, yb) = (y0.min(y1), y0.max(y1));
         self.add_wall(Point::new(xa, ya), Point::new(xb, ya), material);
@@ -160,7 +167,11 @@ mod tests {
     #[test]
     fn wall_blocks_los() {
         let mut f = Floorplan::empty();
-        f.add_wall(Point::new(1.0, -1.0), Point::new(1.0, 1.0), Material::CONCRETE);
+        f.add_wall(
+            Point::new(1.0, -1.0),
+            Point::new(1.0, 1.0),
+            Material::CONCRETE,
+        );
         assert!(!f.line_of_sight(Point::new(0.0, 0.0), Point::new(2.0, 0.0)));
         assert!(f.line_of_sight(Point::new(0.0, 0.0), Point::new(0.5, 0.0)));
         // Passing over the wall's end does not cross it.
@@ -170,8 +181,16 @@ mod tests {
     #[test]
     fn transmission_multiplies_across_walls() {
         let mut f = Floorplan::empty();
-        f.add_wall(Point::new(1.0, -1.0), Point::new(1.0, 1.0), Material::DRYWALL);
-        f.add_wall(Point::new(2.0, -1.0), Point::new(2.0, 1.0), Material::DRYWALL);
+        f.add_wall(
+            Point::new(1.0, -1.0),
+            Point::new(1.0, 1.0),
+            Material::DRYWALL,
+        );
+        f.add_wall(
+            Point::new(2.0, -1.0),
+            Point::new(2.0, 1.0),
+            Material::DRYWALL,
+        );
         let t1 = f.transmission_factor(Point::new(0.0, 0.0), Point::new(1.5, 0.0), None);
         let t2 = f.transmission_factor(Point::new(0.0, 0.0), Point::new(3.0, 0.0), None);
         let single = Material::DRYWALL.amplitude_transmission();
@@ -194,7 +213,11 @@ mod tests {
     #[test]
     fn skip_excludes_reflecting_wall() {
         let mut f = Floorplan::empty();
-        f.add_wall(Point::new(1.0, -1.0), Point::new(1.0, 1.0), Material::CONCRETE);
+        f.add_wall(
+            Point::new(1.0, -1.0),
+            Point::new(1.0, 1.0),
+            Material::CONCRETE,
+        );
         // A ray ending near the wall still doesn't "cross" it; but one
         // passing through is excluded when skipped.
         let n = f

@@ -19,7 +19,7 @@
 //! Each effect is independently switchable so tests can isolate it
 //! (fault-injection style, after smoltcp's example options).
 
-use rand::Rng;
+use crate::rng::Rng;
 use spotfi_math::{c64, CMat};
 
 use crate::ofdm::OfdmConfig;
@@ -61,7 +61,7 @@ impl ClockModel {
     }
 
     /// The sampling time offset applied to packet `packet_idx`.
-    pub fn sto_for_packet<R: Rng + ?Sized>(&self, packet_idx: usize, rng: &mut R) -> f64 {
+    pub fn sto_for_packet(&self, packet_idx: usize, rng: &mut Rng) -> f64 {
         self.base_sto_s
             + self.sfo_drift_s_per_packet * packet_idx as f64
             + if self.detection_jitter_s > 0.0 {
@@ -126,11 +126,14 @@ impl PathJitter {
     /// Perturbs one packet's view of the multipath with independent draws
     /// (the `correlation == 0` special case; see [`JitterProcess`] for the
     /// temporally correlated evolution used by trace generation).
-    pub fn apply<R: Rng + ?Sized>(&self, paths: &[Path], rng: &mut R) -> Vec<Path> {
-        let mut process = JitterProcess::new(paths.to_vec(), PathJitter {
-            correlation: 0.0,
-            ..*self
-        });
+    pub fn apply(&self, paths: &[Path], rng: &mut Rng) -> Vec<Path> {
+        let mut process = JitterProcess::new(
+            paths.to_vec(),
+            PathJitter {
+                correlation: 0.0,
+                ..*self
+            },
+        );
         process.advance(rng)
     }
 }
@@ -175,7 +178,7 @@ impl JitterProcess {
     }
 
     /// Advances one packet and returns that packet's perturbed paths.
-    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<Path> {
+    pub fn advance(&mut self, rng: &mut Rng) -> Vec<Path> {
         let rho = self.jitter.correlation.clamp(0.0, 0.999_999);
         let innov = (1.0 - rho * rho).sqrt();
         let sigmas: Vec<[f64; 4]> = self.paths.iter().map(|p| self.sigmas(p)).collect();
@@ -259,12 +262,12 @@ impl Impairments {
 
     /// Applies all enabled impairments to an ideal CSI matrix, in place,
     /// returning the STO that was injected (for tests / oracles).
-    pub fn apply<R: Rng + ?Sized>(
+    pub fn apply(
         &self,
         csi: &mut CMat,
         ofdm: &OfdmConfig,
         packet_idx: usize,
-        rng: &mut R,
+        rng: &mut Rng,
     ) -> f64 {
         let mut sto = 0.0;
         if let Some(clock) = &self.clock {
@@ -293,7 +296,8 @@ impl Impairments {
 /// antennas, linear across subcarriers (paper Sec. 3.2.2).
 pub fn apply_sto(csi: &mut CMat, ofdm: &OfdmConfig, sto_s: f64) {
     for n in 0..csi.cols() {
-        let ramp = c64::cis(-2.0 * std::f64::consts::PI * ofdm.subcarrier_spacing_hz * n as f64 * sto_s);
+        let ramp =
+            c64::cis(-2.0 * std::f64::consts::PI * ofdm.subcarrier_spacing_hz * n as f64 * sto_s);
         for m in 0..csi.rows() {
             csi[(m, n)] *= ramp;
         }
@@ -301,7 +305,7 @@ pub fn apply_sto(csi: &mut CMat, ofdm: &OfdmConfig, sto_s: f64) {
 }
 
 /// Adds complex AWGN such that mean signal power / noise power = SNR.
-pub fn apply_awgn<R: Rng + ?Sized>(csi: &mut CMat, snr_db: f64, rng: &mut R) {
+pub fn apply_awgn(csi: &mut CMat, snr_db: f64, rng: &mut Rng) {
     let n_elem = (csi.rows() * csi.cols()) as f64;
     let signal_power = csi.as_slice().iter().map(|z| z.norm_sqr()).sum::<f64>() / n_elem;
     if signal_power <= 0.0 {
@@ -311,10 +315,7 @@ pub fn apply_awgn<R: Rng + ?Sized>(csi: &mut CMat, snr_db: f64, rng: &mut R) {
     let sigma = (noise_power / 2.0).sqrt(); // per real component
     for n in 0..csi.cols() {
         for m in 0..csi.rows() {
-            csi[(m, n)] += c64::new(
-                sigma * standard_normal(rng),
-                sigma * standard_normal(rng),
-            );
+            csi[(m, n)] += c64::new(sigma * standard_normal(rng), sigma * standard_normal(rng));
         }
     }
 }
@@ -347,8 +348,7 @@ pub fn quantize_intel5300(csi: &mut CMat) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Rng;
 
     fn test_csi() -> CMat {
         CMat::from_fn(3, 30, |m, n| {
@@ -361,7 +361,7 @@ mod tests {
         let mut csi = test_csi();
         let orig = csi.clone();
         let ofdm = OfdmConfig::intel5300_40mhz();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let sto = Impairments::none().apply(&mut csi, &ofdm, 0, &mut rng);
         assert_eq!(sto, 0.0);
         assert!((&csi - &orig).max_abs() < 1e-15);
@@ -375,7 +375,8 @@ mod tests {
         let sto = 40e-9;
         apply_sto(&mut csi, &ofdm, sto);
         for n in 0..30 {
-            let expected = -2.0 * std::f64::consts::PI * ofdm.subcarrier_spacing_hz * n as f64 * sto;
+            let expected =
+                -2.0 * std::f64::consts::PI * ofdm.subcarrier_spacing_hz * n as f64 * sto;
             for m in 0..3 {
                 let d = (csi[(m, n)] / orig[(m, n)]).arg();
                 assert!(
@@ -393,7 +394,7 @@ mod tests {
 
     #[test]
     fn awgn_achieves_requested_snr() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let snr_db = 20.0;
         // Average over many draws to estimate realized SNR.
         let mut noise_power_sum = 0.0;
@@ -437,7 +438,7 @@ mod tests {
             sfo_drift_s_per_packet: 1e-9,
             detection_jitter_s: 0.0,
         };
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let s0 = clock.sto_for_packet(0, &mut rng);
         let s10 = clock.sto_for_packet(10, &mut rng);
         assert!((s0 - 50e-9).abs() < 1e-15);
@@ -454,7 +455,7 @@ mod tests {
             quantize: false,
             path_jitter: None,
         };
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut csi = test_csi();
         let orig = csi.clone();
         imp.apply(&mut csi, &ofdm, 0, &mut rng);

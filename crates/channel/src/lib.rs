@@ -53,4 +53,5 @@ pub use geometry::{Point, Segment, Vec2};
 pub use impairments::{ClockModel, Impairments};
 pub use ofdm::OfdmConfig;
 pub use raytrace::{trace_paths, Path, PathKind};
+pub use rng::Rng;
 pub use trace::{CsiPacket, PacketTrace, TraceConfig};

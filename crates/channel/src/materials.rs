@@ -80,11 +80,10 @@ mod tests {
 
     #[test]
     fn concrete_blocks_more_than_drywall() {
-        assert!(
-            Material::CONCRETE.amplitude_transmission()
-                < Material::DRYWALL.amplitude_transmission()
-        );
-        assert!(Material::CONCRETE.reflectivity > Material::DRYWALL.reflectivity);
+        let concrete = Material::CONCRETE;
+        let drywall = Material::DRYWALL;
+        assert!(concrete.amplitude_transmission() < drywall.amplitude_transmission());
+        assert!(concrete.reflectivity > drywall.reflectivity);
     }
 
     #[test]

@@ -43,7 +43,10 @@ mod tests {
         let a1 = friis_amplitude(1.0, l);
         let a2 = friis_amplitude(2.0, l);
         let a10 = friis_amplitude(10.0, l);
-        assert!((a1 / a2 - 2.0).abs() < 1e-12, "amplitude halves per doubling");
+        assert!(
+            (a1 / a2 - 2.0).abs() < 1e-12,
+            "amplitude halves per doubling"
+        );
         assert!((amplitude_to_db(a1) - amplitude_to_db(a10) - 20.0).abs() < 1e-9);
     }
 

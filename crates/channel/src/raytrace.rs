@@ -169,10 +169,7 @@ fn finish_path(
     phase: f64,
     cfg: &RaytraceConfig,
 ) -> Option<Path> {
-    let length_m: f64 = vertices
-        .windows(2)
-        .map(|w| w[0].distance(w[1]))
-        .sum();
+    let length_m: f64 = vertices.windows(2).map(|w| w[0].distance(w[1])).sum();
     if length_m < 1e-6 {
         return None; // Target collocated with the AP.
     }
@@ -310,7 +307,11 @@ mod tests {
     use crate::materials::Material;
 
     fn test_ap(x: f64, y: f64) -> AntennaArray {
-        AntennaArray::intel5300(Point::new(x, y), std::f64::consts::FRAC_PI_2, DEFAULT_CARRIER_HZ)
+        AntennaArray::intel5300(
+            Point::new(x, y),
+            std::f64::consts::FRAC_PI_2,
+            DEFAULT_CARRIER_HZ,
+        )
     }
 
     fn cfg() -> RaytraceConfig {
@@ -332,7 +333,11 @@ mod tests {
     fn single_wall_adds_reflection() {
         let mut plan = Floorplan::empty();
         // Wall along x = 5, target and AP both left of it.
-        plan.add_wall(Point::new(5.0, -10.0), Point::new(5.0, 10.0), Material::CONCRETE);
+        plan.add_wall(
+            Point::new(5.0, -10.0),
+            Point::new(5.0, 10.0),
+            Material::CONCRETE,
+        );
         let ap = test_ap(0.0, 0.0);
         let target = Point::new(0.0, 4.0);
         let paths = trace_paths(&plan, target, &ap, &cfg());
@@ -352,7 +357,11 @@ mod tests {
     fn reflection_requires_hit_within_segment() {
         let mut plan = Floorplan::empty();
         // Short wall far off to the side: mirror ray misses the segment.
-        plan.add_wall(Point::new(5.0, 100.0), Point::new(5.0, 101.0), Material::CONCRETE);
+        plan.add_wall(
+            Point::new(5.0, 100.0),
+            Point::new(5.0, 101.0),
+            Material::CONCRETE,
+        );
         let ap = test_ap(0.0, 0.0);
         let paths = trace_paths(&plan, Point::new(0.0, 4.0), &ap, &cfg());
         assert_eq!(paths.len(), 1);
@@ -362,7 +371,11 @@ mod tests {
     #[test]
     fn wall_between_attenuates_direct() {
         let mut plan = Floorplan::empty();
-        plan.add_wall(Point::new(1.0, -10.0), Point::new(1.0, 10.0), Material::CONCRETE);
+        plan.add_wall(
+            Point::new(1.0, -10.0),
+            Point::new(1.0, 10.0),
+            Material::CONCRETE,
+        );
         let ap = test_ap(0.0, 0.0);
         let target = Point::new(2.0, 0.0);
         let paths = trace_paths(&plan, target, &ap, &cfg());
@@ -406,7 +419,8 @@ mod tests {
             assert_eq!(p.vertices.len(), 4);
             // Each bounce point must be on the room boundary.
             for v in &p.vertices[1..3] {
-                let on_boundary = (v.x.abs() - 10.0).abs() < 1e-6 || (v.y.abs() - 10.0).abs() < 1e-6;
+                let on_boundary =
+                    (v.x.abs() - 10.0).abs() < 1e-6 || (v.y.abs() - 10.0).abs() < 1e-6;
                 assert!(on_boundary, "bounce {:?} not on boundary", v);
             }
             // Specular law: verify via the image method's length identity —

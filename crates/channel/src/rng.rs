@@ -1,14 +1,91 @@
-//! Randomness helpers for the simulator.
+//! Randomness for the simulator — zero external dependencies.
 //!
-//! Everything stochastic in the workspace takes an explicit `Rng` so
-//! experiments are reproducible from a single seed. `rand` (0.8) only ships
-//! uniform sampling; the Gaussian deviates used for noise and shadowing are
-//! generated here with the Box–Muller transform.
+//! Everything stochastic in the workspace takes an explicit [`Rng`] so
+//! experiments are reproducible from a single seed. The generator is
+//! **xoshiro256++** (Blackman & Vigna), seeded through SplitMix64 so that
+//! any `u64` seed — including 0 — expands into a well-mixed 256-bit state.
+//! Uniform doubles come from the top 53 bits; Gaussian deviates use the
+//! Box–Muller transform.
+//!
+//! The API mirrors the subset of `rand` 0.8 the workspace used
+//! (`seed_from_u64`, `gen::<f64>()`, `gen_range`), so call sites read the
+//! same while the build stays registry-free.
 
-use rand::Rng;
+/// A seedable pseudo-random number generator (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// Types that can be drawn uniformly from an [`Rng`] via [`Rng::gen`].
+pub trait Sample {
+    /// Draws one value.
+    fn sample(rng: &mut Rng) -> Self;
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    #[inline]
+    fn sample(rng: &mut Rng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn sample(rng: &mut Rng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 state expansion).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Draws a uniform value of type `T` (for `f64`: uniform in `[0, 1)`).
+    #[inline]
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform `f64` in `[range.start, range.end)`.
+    #[inline]
+    pub fn gen_range(&mut self, range: std::ops::Range<f64>) -> f64 {
+        range.start + (range.end - range.start) * self.gen::<f64>()
+    }
+}
 
 /// A standard normal deviate (mean 0, variance 1) via Box–Muller.
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn standard_normal(rng: &mut Rng) -> f64 {
     // Avoid ln(0) by sampling u1 from (0, 1].
     let u1: f64 = 1.0 - rng.gen::<f64>();
     let u2: f64 = rng.gen();
@@ -16,24 +93,22 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 }
 
 /// A normal deviate with the given mean and standard deviation.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+pub fn normal(rng: &mut Rng, mean: f64, std_dev: f64) -> f64 {
     mean + std_dev * standard_normal(rng)
 }
 
 /// A uniform phase in `[0, 2π)`.
-pub fn uniform_phase<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn uniform_phase(rng: &mut Rng) -> f64 {
     rng.gen::<f64>() * 2.0 * std::f64::consts::PI
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn standard_normal_moments() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let n = 200_000;
         let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
@@ -44,7 +119,7 @@ mod tests {
 
     #[test]
     fn normal_scales_and_shifts() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng::seed_from_u64(8);
         let n = 100_000;
         let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
@@ -55,7 +130,7 @@ mod tests {
 
     #[test]
     fn phases_cover_circle() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         let mut quadrant = [0usize; 4];
         for _ in 0..4000 {
             let p = uniform_phase(&mut rng);
@@ -69,10 +144,55 @@ mod tests {
 
     #[test]
     fn deterministic_with_same_seed() {
-        let mut a = StdRng::seed_from_u64(42);
-        let mut b = StdRng::seed_from_u64(42);
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
         for _ in 0..100 {
             assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
         }
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_and_spreads() {
+        let mut rng = Rng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {}", mean);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-3.0..5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_well_mixed() {
+        // SplitMix64 expansion must keep the all-zero seed off the
+        // degenerate all-zero xoshiro state.
+        let mut rng = Rng::seed_from_u64(0);
+        let draws: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&d| d != 0));
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            sum += rng.gen::<f64>();
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn distinct_seeds_decorrelate() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let matches = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
     }
 }

@@ -6,7 +6,7 @@
 //! shadowing, and quantizes to integer dB — which is all a commodity NIC
 //! reports.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::raytrace::Path;
 use crate::rng::normal;
@@ -47,7 +47,7 @@ impl RssiModel {
     /// Friis spreading and material losses, so the received linear power is
     /// simply their sum of squares (incoherent sum — RSSI is averaged over
     /// the packet, washing out inter-path phase).
-    pub fn rssi_dbm<R: Rng + ?Sized>(&self, paths: &[Path], rng: &mut R) -> Option<f64> {
+    pub fn rssi_dbm(&self, paths: &[Path], rng: &mut Rng) -> Option<f64> {
         let power: f64 = paths.iter().map(|p| p.amplitude * p.amplitude).sum();
         if power <= 0.0 {
             return None; // Nothing heard.
@@ -67,8 +67,7 @@ impl RssiModel {
 mod tests {
     use super::*;
     use crate::raytrace::PathKind;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Rng;
 
     fn path_with_amplitude(a: f64) -> Path {
         Path {
@@ -86,19 +85,31 @@ mod tests {
     #[test]
     fn stronger_paths_give_higher_rssi() {
         let model = RssiModel::ideal();
-        let mut rng = StdRng::seed_from_u64(0);
-        let weak = model.rssi_dbm(&[path_with_amplitude(1e-4)], &mut rng).unwrap();
-        let strong = model.rssi_dbm(&[path_with_amplitude(1e-3)], &mut rng).unwrap();
-        assert!((strong - weak - 20.0).abs() < 1e-9, "10× amplitude = +20 dB");
+        let mut rng = Rng::seed_from_u64(0);
+        let weak = model
+            .rssi_dbm(&[path_with_amplitude(1e-4)], &mut rng)
+            .unwrap();
+        let strong = model
+            .rssi_dbm(&[path_with_amplitude(1e-3)], &mut rng)
+            .unwrap();
+        assert!(
+            (strong - weak - 20.0).abs() < 1e-9,
+            "10× amplitude = +20 dB"
+        );
     }
 
     #[test]
     fn power_sums_incoherently() {
         let model = RssiModel::ideal();
-        let mut rng = StdRng::seed_from_u64(0);
-        let one = model.rssi_dbm(&[path_with_amplitude(1e-3)], &mut rng).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        let one = model
+            .rssi_dbm(&[path_with_amplitude(1e-3)], &mut rng)
+            .unwrap();
         let two = model
-            .rssi_dbm(&[path_with_amplitude(1e-3), path_with_amplitude(1e-3)], &mut rng)
+            .rssi_dbm(
+                &[path_with_amplitude(1e-3), path_with_amplitude(1e-3)],
+                &mut rng,
+            )
             .unwrap();
         assert!((two - one - 10.0 * 2.0f64.log10()).abs() < 1e-9);
     }
@@ -106,7 +117,7 @@ mod tests {
     #[test]
     fn no_paths_no_rssi() {
         let model = RssiModel::typical();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         assert!(model.rssi_dbm(&[], &mut rng).is_none());
     }
 
@@ -117,8 +128,10 @@ mod tests {
             shadowing_std_db: 0.0,
             quantize: true,
         };
-        let mut rng = StdRng::seed_from_u64(0);
-        let r = model.rssi_dbm(&[path_with_amplitude(3.3e-4)], &mut rng).unwrap();
+        let mut rng = Rng::seed_from_u64(0);
+        let r = model
+            .rssi_dbm(&[path_with_amplitude(3.3e-4)], &mut rng)
+            .unwrap();
         assert_eq!(r, r.round());
     }
 
@@ -129,14 +142,18 @@ mod tests {
             shadowing_std_db: 3.0,
             quantize: false,
         };
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         let samples: Vec<f64> = (0..2000)
-            .map(|_| model.rssi_dbm(&[path_with_amplitude(1e-3)], &mut rng).unwrap())
+            .map(|_| {
+                model
+                    .rssi_dbm(&[path_with_amplitude(1e-3)], &mut rng)
+                    .unwrap()
+            })
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let std =
-            (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64)
-                .sqrt();
+        let std = (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
         assert!((std - 3.0).abs() < 0.3, "std {}", std);
     }
 }

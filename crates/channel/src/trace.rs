@@ -5,7 +5,7 @@
 //! CSI matrix + RSSI + timestamp). Ground truth (the traced paths) rides
 //! along for evaluation only — the estimator must not look at it.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::array::AntennaArray;
 use crate::csi::synthesize_csi;
@@ -84,8 +84,7 @@ impl TraceConfig {
 /// A generated trace: packets plus the ground-truth paths they came from.
 ///
 /// ```
-/// use rand::SeedableRng;
-/// use spotfi_channel::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+/// use spotfi_channel::{AntennaArray, Floorplan, PacketTrace, Point, Rng, TraceConfig};
 ///
 /// let plan = Floorplan::empty();
 /// let ap = AntennaArray::intel5300(
@@ -93,7 +92,7 @@ impl TraceConfig {
 ///     std::f64::consts::FRAC_PI_2,
 ///     spotfi_channel::constants::DEFAULT_CARRIER_HZ,
 /// );
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = Rng::seed_from_u64(7);
 /// let trace = PacketTrace::generate(
 ///     &plan, Point::new(2.0, 5.0), &ap, &TraceConfig::commodity(), 10, &mut rng,
 /// ).unwrap();
@@ -114,13 +113,13 @@ impl PacketTrace {
     ///
     /// Returns `None` when no propagation path reaches the AP (deep NLoS) —
     /// the AP simply doesn't hear the target, as in a real deployment.
-    pub fn generate<R: Rng + ?Sized>(
+    pub fn generate(
         plan: &Floorplan,
         target: Point,
         ap: &AntennaArray,
         cfg: &TraceConfig,
         num_packets: usize,
-        rng: &mut R,
+        rng: &mut Rng,
     ) -> Option<PacketTrace> {
         let paths = trace_paths(plan, target, ap, &cfg.raytrace);
         if paths.is_empty() {
@@ -171,8 +170,7 @@ impl PacketTrace {
 mod tests {
     use super::*;
     use crate::materials::Material;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Rng;
 
     fn ap() -> AntennaArray {
         AntennaArray::intel5300(
@@ -185,7 +183,7 @@ mod tests {
     #[test]
     fn generates_requested_packets() {
         let plan = Floorplan::empty();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let t = PacketTrace::generate(
             &plan,
             Point::new(2.0, 5.0),
@@ -209,7 +207,7 @@ mod tests {
         let plan = Floorplan::empty();
         let cfg = TraceConfig::commodity();
         let gen = |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             PacketTrace::generate(&plan, Point::new(3.0, 4.0), &ap(), &cfg, 5, &mut rng).unwrap()
         };
         let a = gen(7);
@@ -227,7 +225,7 @@ mod tests {
     #[test]
     fn sto_varies_across_packets() {
         let plan = Floorplan::empty();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let t = PacketTrace::generate(
             &plan,
             Point::new(2.0, 5.0),
@@ -248,7 +246,7 @@ mod tests {
     #[test]
     fn ideal_trace_has_identical_packets() {
         let plan = Floorplan::empty();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let t = PacketTrace::generate(
             &plan,
             Point::new(2.0, 5.0),
@@ -270,10 +268,10 @@ mod tests {
         // instead.
         let mut plan = Floorplan::empty();
         plan.add_rect(9.0, 9.0, 11.0, 11.0, Material::METAL);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let cfg = TraceConfig::commodity();
         let inside = PacketTrace::generate(&plan, Point::new(10.0, 10.0), &ap(), &cfg, 1, &mut rng);
-        let mut rng2 = StdRng::seed_from_u64(4);
+        let mut rng2 = Rng::seed_from_u64(4);
         let open = PacketTrace::generate(
             &Floorplan::empty(),
             Point::new(10.0, 10.0),

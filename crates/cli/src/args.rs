@@ -40,7 +40,10 @@ impl Args {
                     if !value_options.contains(&k) {
                         return Err(ArgError(format!("option --{} does not take a value", k)));
                     }
-                    out.options.entry(k.to_string()).or_default().push(v.to_string());
+                    out.options
+                        .entry(k.to_string())
+                        .or_default()
+                        .push(v.to_string());
                 } else if value_options.contains(&name) {
                     let v = iter
                         .next()
@@ -63,7 +66,10 @@ impl Args {
 
     /// Last value of `--name`, if present.
     pub fn value(&self, name: &str) -> Option<&str> {
-        self.options.get(name).and_then(|v| v.last()).map(String::as_str)
+        self.options
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
     }
 
     /// Parsed value of `--name`.
@@ -99,8 +105,18 @@ impl Args {
             Some(v) => {
                 let mut it = v.split(',');
                 let bad = || ArgError(format!("--{} expects x,y — got {}", name, v));
-                let x: f64 = it.next().ok_or_else(bad)?.trim().parse().map_err(|_| bad())?;
-                let y: f64 = it.next().ok_or_else(bad)?.trim().parse().map_err(|_| bad())?;
+                let x: f64 = it
+                    .next()
+                    .ok_or_else(bad)?
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad())?;
+                let y: f64 = it
+                    .next()
+                    .ok_or_else(bad)?
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad())?;
                 if it.next().is_some() {
                     return Err(bad());
                 }
@@ -120,7 +136,10 @@ mod tests {
 
     #[test]
     fn positional_and_options() {
-        let a = parse(&["analyze", "file.dat", "--packets", "20", "--fast"], &["packets"]);
+        let a = parse(
+            &["analyze", "file.dat", "--packets", "20", "--fast"],
+            &["packets"],
+        );
         assert_eq!(a.positional(0), Some("analyze"));
         assert_eq!(a.positional(1), Some("file.dat"));
         assert_eq!(a.positional(2), None);
@@ -138,13 +157,13 @@ mod tests {
 
     #[test]
     fn missing_value_is_error() {
-        let e = Args::parse(["--packets".to_string()].into_iter(), &["packets"]).unwrap_err();
+        let e = Args::parse(["--packets".to_string()], &["packets"]).unwrap_err();
         assert!(e.0.contains("needs a value"));
     }
 
     #[test]
     fn value_on_flag_is_error() {
-        let e = Args::parse(["--fast=yes".to_string()].into_iter(), &[]).unwrap_err();
+        let e = Args::parse(["--fast=yes".to_string()], &[]).unwrap_err();
         assert!(e.0.contains("does not take a value"));
     }
 

@@ -13,14 +13,15 @@ mod args;
 use std::process::ExitCode;
 
 use args::{ArgError, Args};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use spotfi_channel::Rng;
 
 use spotfi_channel::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
 use spotfi_core::{ApPackets, SpotFi, SpotFiConfig};
 use spotfi_io::{from_csi_packet, read_dat_file, to_csi_packets, write_dat_file};
 use spotfi_testbed::deployment::Deployment;
-use spotfi_testbed::experiments::{ablation, fig5, fig7, fig8, fig9, through_wall, tracking, ExperimentOptions};
+use spotfi_testbed::experiments::{
+    ablation, fig5, fig7, fig8, fig9, through_wall, tracking, ExperimentOptions,
+};
 use spotfi_testbed::runner::{Runner, RunnerConfig};
 use spotfi_testbed::scenario::Scenario;
 
@@ -34,13 +35,16 @@ USAGE:
   spotfi simulate --out <capture.dat> [--target x,y] [--packets N] [--seed S]
       Simulate a capture and write it in Linux 802.11n CSI Tool format.
 
-  spotfi analyze <capture.dat> [--ap x,y] [--normal <deg>]
+  spotfi analyze <capture.dat> [--ap x,y] [--normal <deg>] [--threads N]
       Parse a CSI Tool trace and run SpotFi's per-AP analysis
       (AP position/orientation default to the origin facing +y).
 
-  spotfi scenario [office|nlos|corridor] [--targets N] [--packets N]
+  spotfi scenario [office|nlos|corridor] [--targets N] [--packets N] [--threads N]
       Run a full localization scenario (SpotFi vs ArrayTrack) and print
       the error table.
+
+  --threads N selects the worker-thread budget (default: all cores;
+  1 = serial reference path; results are identical at any setting).
 
   spotfi help
       Show this message.
@@ -61,7 +65,9 @@ fn run() -> Result<(), ArgError> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = Args::parse(
         raw,
-        &["out", "target", "packets", "seed", "ap", "normal", "targets"],
+        &[
+            "out", "target", "packets", "seed", "ap", "normal", "targets", "threads",
+        ],
     )?;
     match args.positional(0).unwrap_or("help") {
         "figures" => cmd_figures(&args),
@@ -89,7 +95,11 @@ fn cmd_figures(args: &Args) -> Result<(), ArgError> {
         println!("{}", fig5::render(&fig5::run(&opts)));
     }
     if all || which == "fig7" {
-        for panel in [fig7::Panel::Office, fig7::Panel::Nlos, fig7::Panel::Corridor] {
+        for panel in [
+            fig7::Panel::Office,
+            fig7::Panel::Nlos,
+            fig7::Panel::Corridor,
+        ] {
             println!("{}", fig7::render(&fig7::run(panel, &opts)));
         }
     }
@@ -101,8 +111,14 @@ fn cmd_figures(args: &Args) -> Result<(), ArgError> {
         println!("{}", fig9::render_packets(&fig9::run_packets(&opts)));
     }
     if all || which == "ablation" {
-        println!("{}", ablation::render_channel(&ablation::run_channel_ablation(&opts)));
-        println!("{}", ablation::render_algorithm(&ablation::run_algorithm_ablation(&opts)));
+        println!(
+            "{}",
+            ablation::render_channel(&ablation::run_channel_ablation(&opts))
+        );
+        println!(
+            "{}",
+            ablation::render_algorithm(&ablation::run_algorithm_ablation(&opts))
+        );
     }
     if all || which == "through-wall" {
         println!("{}", through_wall::render(&through_wall::run(&opts)));
@@ -110,7 +126,18 @@ fn cmd_figures(args: &Args) -> Result<(), ArgError> {
     if all || which == "tracking" {
         println!("{}", tracking::render(&tracking::run(&opts)));
     }
-    if !all && !["fig5", "fig7", "fig8", "fig9", "ablation", "through-wall", "tracking"].contains(&which) {
+    if !all
+        && ![
+            "fig5",
+            "fig7",
+            "fig8",
+            "fig9",
+            "ablation",
+            "through-wall",
+            "tracking",
+        ]
+        .contains(&which)
+    {
         return Err(ArgError(format!("unknown figure: {}", which)));
     }
     Ok(())
@@ -127,7 +154,7 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
 
     let array = default_array(args)?;
     let plan = Floorplan::empty();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let trace = PacketTrace::generate(
         &plan,
         Point::new(tx, ty),
@@ -160,20 +187,26 @@ fn cmd_analyze(args: &Args) -> Result<(), ArgError> {
     let path = args
         .positional(1)
         .ok_or_else(|| ArgError("analyze needs a capture file".into()))?;
-    let records =
-        read_dat_file(path).map_err(|e| ArgError(format!("reading {}: {}", path, e)))?;
+    let records = read_dat_file(path).map_err(|e| ArgError(format!("reading {}: {}", path, e)))?;
     println!("parsed {} beamforming records from {}", records.len(), path);
     if records.is_empty() {
         return Ok(());
     }
     let array = default_array(args)?;
     let packets = to_csi_packets(&records);
-    let spotfi = SpotFi::new(SpotFiConfig::default());
+    let mut cfg = SpotFiConfig::default();
+    if let Some(t) = args.parsed::<usize>("threads")? {
+        cfg.runtime = spotfi_core::RuntimeConfig::with_threads(t);
+    }
+    let spotfi = SpotFi::new(cfg);
     let analysis = spotfi
         .analyze_ap(&ApPackets { array, packets })
         .map_err(|e| ArgError(format!("analysis failed: {}", e)))?;
 
-    println!("\n{:>8} {:>9} {:>6} {:>7} {:>7}", "AoA(°)", "ToF(ns)", "n", "σθ(°)", "στ(ns)");
+    println!(
+        "\n{:>8} {:>9} {:>6} {:>7} {:>7}",
+        "AoA(°)", "ToF(ns)", "n", "σθ(°)", "στ(ns)"
+    );
     for c in &analysis.clustering.clusters {
         println!(
             "{:>8.1} {:>9.1} {:>6} {:>7.2} {:>7.2}",
@@ -212,9 +245,17 @@ fn cmd_scenario(args: &Args) -> Result<(), ArgError> {
         scenario.aps.len(),
         scenario.packets_per_fix
     );
-    let runner = Runner::new(scenario, RunnerConfig::default());
+    let mut runner_cfg = RunnerConfig::default();
+    if let Some(t) = args.parsed::<usize>("threads")? {
+        runner_cfg.threads = t.max(1);
+        runner_cfg.spotfi.runtime = spotfi_core::RuntimeConfig::with_threads(t);
+    }
+    let runner = Runner::new(scenario, runner_cfg);
     let records = runner.run_localization();
-    println!("\n{:<12} {:>8} {:>12} {:>7}", "target", "spotfi", "arraytrack", "heard");
+    println!(
+        "\n{:<12} {:>8} {:>12} {:>7}",
+        "target", "spotfi", "arraytrack", "heard"
+    );
     let mut spotfi_errs = Vec::new();
     let mut at_errs = Vec::new();
     for r in &records {

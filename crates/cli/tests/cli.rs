@@ -46,7 +46,15 @@ fn simulate_then_analyze_roundtrip() {
     let path_str = path.to_str().unwrap();
 
     let sim = spotfi(&[
-        "simulate", "--out", path_str, "--target", "-2,5", "--packets", "8", "--seed", "5",
+        "simulate",
+        "--out",
+        path_str,
+        "--target",
+        "-2,5",
+        "--packets",
+        "8",
+        "--seed",
+        "5",
     ]);
     assert!(sim.status.success(), "simulate failed: {}", stderr(&sim));
     assert!(stdout(&sim).contains("wrote 8 records"));

@@ -123,8 +123,14 @@ pub fn cluster_estimates(
     while centers.len() < k {
         let far = (0..pts.len())
             .max_by(|&i, &j| {
-                let di = centers.iter().map(|&c| dist2(pts[i], c)).fold(f64::MAX, f64::min);
-                let dj = centers.iter().map(|&c| dist2(pts[j], c)).fold(f64::MAX, f64::min);
+                let di = centers
+                    .iter()
+                    .map(|&c| dist2(pts[i], c))
+                    .fold(f64::MAX, f64::min);
+                let dj = centers
+                    .iter()
+                    .map(|&c| dist2(pts[j], c))
+                    .fold(f64::MAX, f64::min);
                 di.partial_cmp(&dj).unwrap()
             })
             .unwrap();
@@ -137,7 +143,11 @@ pub fn cluster_estimates(
         let mut changed = false;
         for (i, &p) in pts.iter().enumerate() {
             let best = (0..centers.len())
-                .min_by(|&a, &b| dist2(p, centers[a]).partial_cmp(&dist2(p, centers[b])).unwrap())
+                .min_by(|&a, &b| {
+                    dist2(p, centers[a])
+                        .partial_cmp(&dist2(p, centers[b]))
+                        .unwrap()
+                })
                 .unwrap();
             if assignment[i] != best {
                 assignment[i] = best;
@@ -160,13 +170,11 @@ pub fn cluster_estimates(
         for ci in 0..centers.len() {
             if sums[ci].2 == 0 {
                 // Reseed at the point farthest from its current center.
-                if let Some(far) = (0..pts.len())
-                    .max_by(|&i, &j| {
-                        dist2(pts[i], centers[assignment[i]])
-                            .partial_cmp(&dist2(pts[j], centers[assignment[j]]))
-                            .unwrap()
-                    })
-                {
+                if let Some(far) = (0..pts.len()).max_by(|&i, &j| {
+                    dist2(pts[i], centers[assignment[i]])
+                        .partial_cmp(&dist2(pts[j], centers[assignment[j]]))
+                        .unwrap()
+                }) {
                     centers[ci] = pts[far];
                     changed = true;
                 }

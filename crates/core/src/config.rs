@@ -7,6 +7,8 @@
 
 use spotfi_channel::OfdmConfig;
 
+use crate::runtime::RuntimeConfig;
+
 /// Grid over one MUSIC parameter axis.
 #[derive(Clone, Copy, Debug)]
 pub struct GridSpec {
@@ -229,6 +231,9 @@ pub struct SpotFiConfig {
     pub likelihood: LikelihoodWeights,
     /// Eq. 9 solver parameters.
     pub localize: LocalizeConfig,
+    /// Execution resources (thread budget). `threads = 1` is the serial
+    /// reference path; any budget produces bit-identical results.
+    pub runtime: RuntimeConfig,
 }
 
 impl Default for SpotFiConfig {
@@ -242,6 +247,7 @@ impl Default for SpotFiConfig {
             cluster: ClusterConfig::default(),
             likelihood: LikelihoodWeights::default(),
             localize: LocalizeConfig::default(),
+            runtime: RuntimeConfig::default(),
         }
     }
 }

@@ -36,7 +36,9 @@ impl fmt::Display for SpotFiError {
                 "CSI shape mismatch: expected {}×{}, got {}×{}",
                 expected.0, expected.1, got.0, got.1
             ),
-            SpotFiError::DegenerateCsi => write!(f, "CSI matrix is degenerate (non-finite or zero)"),
+            SpotFiError::DegenerateCsi => {
+                write!(f, "CSI matrix is degenerate (non-finite or zero)")
+            }
             SpotFiError::NoPaths => write!(f, "MUSIC spectrum produced no path estimates"),
             SpotFiError::NoClusters => write!(f, "clustering produced no usable clusters"),
             SpotFiError::InsufficientAps { usable } => write!(

@@ -80,8 +80,12 @@ pub fn esprit_paths(smoothed: &CMat, cfg: &SpotFiConfig) -> Result<Vec<PathEstim
     let (omegas, t) = general_eigen(&psi_tau).ok_or(SpotFiError::DegenerateCsi)?;
 
     // ── AoA invariance across antennas, paired through T ────────────────
-    let rows_a1: Vec<usize> = (0..ms - 1).flat_map(|m| (0..ns).map(move |n| m * ns + n)).collect();
-    let rows_a2: Vec<usize> = (1..ms).flat_map(|m| (0..ns).map(move |n| m * ns + n)).collect();
+    let rows_a1: Vec<usize> = (0..ms - 1)
+        .flat_map(|m| (0..ns).map(move |n| m * ns + n))
+        .collect();
+    let rows_a2: Vec<usize> = (1..ms)
+        .flat_map(|m| (0..ns).map(move |n| m * ns + n))
+        .collect();
     let f1 = es.select(&rows_a1, &all_cols);
     let f2 = es.select(&rows_a2, &all_cols);
     let psi_theta = lstsq(&f1, &f2).ok_or(SpotFiError::DegenerateCsi)?;
@@ -155,7 +159,11 @@ mod tests {
         let est = esprit_paths(&x, &c).unwrap();
         assert_eq!(est.len(), 1);
         // Grid-free: ESPRIT should be essentially exact on clean data.
-        assert!((est[0].aoa_deg - 25.0).abs() < 0.01, "aoa {}", est[0].aoa_deg);
+        assert!(
+            (est[0].aoa_deg - 25.0).abs() < 0.01,
+            "aoa {}",
+            est[0].aoa_deg
+        );
         assert!((est[0].tof_ns - 80.0).abs() < 0.05, "tof {}", est[0].tof_ns);
     }
 
@@ -198,7 +206,13 @@ mod tests {
                 .iter()
                 .map(|e| (e.aoa_deg - aoa).abs() + (e.tof_ns - tof).abs() / 10.0)
                 .fold(f64::MAX, f64::min);
-            assert!(best < 6.0, "path ({}, {}) badly estimated: {:?}", aoa, tof, est);
+            assert!(
+                best < 6.0,
+                "path ({}, {}) badly estimated: {:?}",
+                aoa,
+                tof,
+                est
+            );
         }
     }
 

@@ -24,15 +24,14 @@
 //! [`SpotFi`] in [`pipeline`] ties the steps together behind one call.
 //!
 //! ```
-//! use rand::SeedableRng;
-//! use spotfi_channel::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+//! use spotfi_channel::{AntennaArray, Floorplan, PacketTrace, Point, Rng, TraceConfig};
 //! use spotfi_core::{ApPackets, SpotFi, SpotFiConfig};
 //!
 //! // Simulate four APs hearing a target in free space…
 //! let plan = Floorplan::empty();
 //! let target = Point::new(4.0, 6.0);
 //! let cfg = TraceConfig::commodity();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = Rng::seed_from_u64(1);
 //! let aps: Vec<ApPackets> = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
 //!     .iter()
 //!     .map(|&(x, y)| {
@@ -59,6 +58,7 @@ pub mod music;
 pub mod pathloss;
 pub mod peaks;
 pub mod pipeline;
+pub mod runtime;
 pub mod sanitize;
 pub mod smoothing;
 pub mod steering;
@@ -70,10 +70,12 @@ pub use error::{Result, SpotFiError};
 pub use esprit::esprit_paths;
 pub use likelihood::{score_clusters, select_direct_path, DirectPath};
 pub use localize::{localize, ApMeasurement, LocationEstimate, SearchBounds};
-pub use music::{music_spectrum, MusicSpectrum};
+pub use music::{music_spectrum, music_spectrum_cached, MusicScratch, MusicSpectrum};
 pub use pathloss::PathLossModel;
 pub use peaks::{find_peaks, find_peaks_filtered, PathEstimate};
-pub use pipeline::{ApAnalysis, ApPackets, SpotFi};
+pub use pipeline::{ApAnalysis, ApPackets, PacketScratch, SpotFi};
+pub use runtime::{parallel_map, parallel_map_with, RuntimeConfig};
 pub use sanitize::{sanitize_csi, SanitizedCsi};
-pub use smoothing::smoothed_csi;
+pub use smoothing::{smoothed_csi, smoothed_csi_into};
+pub use steering::SteeringCache;
 pub use tracking::{Tracker, TrackerConfig, UpdateOutcome};

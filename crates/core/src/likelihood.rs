@@ -81,8 +81,7 @@ pub fn score_clusters(clustering: &Clustering, w: &LikelihoodWeights) -> Vec<Sco
             let exponent = w.cluster_size * fraction
                 - w.aoa_spread * (c.aoa_std_deg / w.aoa_scale_deg).min(10.0)
                 - w.tof_spread * (c.tof_std_ns / w.tof_scale_ns).min(10.0)
-                - w.tof_mean
-                    * ((c.mean_tof_ns - tof_origin) / (2.0 * w.tof_scale_ns)).min(10.0);
+                - w.tof_mean * ((c.mean_tof_ns - tof_origin) / (2.0 * w.tof_scale_ns)).min(10.0);
             ScoredCluster {
                 cluster_index: i,
                 aoa_deg: c.mean_aoa_deg,

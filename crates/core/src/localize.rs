@@ -70,7 +70,8 @@ impl SearchBounds {
     pub fn around_aps(aps: &[ApMeasurement], margin: f64) -> SearchBounds {
         let xs: Vec<f64> = aps.iter().map(|a| a.array.position.x).collect();
         let ys: Vec<f64> = aps.iter().map(|a| a.array.position.y).collect();
-        let fold = |v: &[f64], f: fn(f64, f64) -> f64, init: f64| v.iter().fold(init, |a, &b| f(a, b));
+        let fold =
+            |v: &[f64], f: fn(f64, f64) -> f64, init: f64| v.iter().fold(init, |a, &b| f(a, b));
         SearchBounds {
             min_x: fold(&xs, f64::min, f64::INFINITY) - margin,
             max_x: fold(&xs, f64::max, f64::NEG_INFINITY) + margin,
@@ -249,7 +250,12 @@ mod tests {
     }
 
     fn four_corner_aps() -> Vec<AntennaArray> {
-        vec![ap_at(0.0, 0.0), ap_at(10.0, 0.0), ap_at(10.0, 10.0), ap_at(0.0, 10.0)]
+        vec![
+            ap_at(0.0, 0.0),
+            ap_at(10.0, 0.0),
+            ap_at(10.0, 10.0),
+            ap_at(0.0, 10.0),
+        ]
     }
 
     #[test]
@@ -331,7 +337,10 @@ mod tests {
         }
         match localize(&aps, &LocalizeConfig::default()) {
             Err(SpotFiError::InsufficientAps { usable }) => assert_eq!(usable, 1),
-            other => panic!("expected InsufficientAps, got {:?}", other.map(|e| e.position)),
+            other => panic!(
+                "expected InsufficientAps, got {:?}",
+                other.map(|e| e.position)
+            ),
         }
         assert!(matches!(
             localize(&[], &LocalizeConfig::default()),
@@ -365,7 +374,15 @@ mod tests {
         let target = Point::new(3.0, 7.0);
         let aps = perfect_measurements(target, &four_corner_aps());
         let est = localize(&aps, &LocalizeConfig::default()).unwrap();
-        assert!((est.path_loss.exponent - 2.5).abs() < 0.2, "η {}", est.path_loss.exponent);
-        assert!((est.path_loss.p0_dbm - -40.0).abs() < 2.0, "p0 {}", est.path_loss.p0_dbm);
+        assert!(
+            (est.path_loss.exponent - 2.5).abs() < 0.2,
+            "η {}",
+            est.path_loss.exponent
+        );
+        assert!(
+            (est.path_loss.p0_dbm - -40.0).abs() < 2.0,
+            "p0 {}",
+            est.path_loss.p0_dbm
+        );
     }
 }

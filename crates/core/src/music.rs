@@ -28,7 +28,8 @@ use spotfi_math::{c64, CMat};
 
 use crate::config::{GridSpec, SpotFiConfig};
 use crate::error::{Result, SpotFiError};
-use crate::steering::{omega_powers, phi};
+use crate::runtime::parallel_map_with;
+use crate::steering::SteeringCache;
 
 /// A sampled MUSIC pseudospectrum over the (AoA, ToF) grid.
 #[derive(Clone, Debug)]
@@ -80,16 +81,59 @@ pub struct NoiseSubspace {
     pub eigenvalues: Vec<f64>,
 }
 
+/// Reusable per-worker buffers for the per-packet MUSIC chain: the
+/// covariance `X·Xᴴ` and the noise projector `G`. One packet's analysis
+/// fully overwrites both, so a scratch can be reused across any number of
+/// packets (the pipeline keeps one per worker thread).
+#[derive(Clone, Debug)]
+pub struct MusicScratch {
+    cov: CMat,
+    proj: CMat,
+}
+
+impl MusicScratch {
+    /// Allocates buffers sized for `cfg`'s smoothed-matrix dimension.
+    pub fn new(cfg: &SpotFiConfig) -> Self {
+        let n = cfg.smoothed_rows();
+        MusicScratch {
+            cov: CMat::zeros(n, n),
+            proj: CMat::zeros(n, n),
+        }
+    }
+}
+
 /// Eigendecomposes `X·Xᴴ` and selects the noise subspace: eigenvalues below
 /// `noise_threshold_ratio · λ_max` are noise, but at least
 /// `dim − max_paths` vectors are always assigned to noise so the signal
 /// subspace can never swallow the whole space.
 pub fn noise_subspace(smoothed: &CMat, cfg: &SpotFiConfig) -> Result<NoiseSubspace> {
-    let r = smoothed.mul_hermitian_self();
-    if !r.as_slice().iter().all(|z| z.is_finite()) {
+    let mut scratch = MusicScratch::new(cfg);
+    let (signal_dimension, eigenvalues) = noise_projector_into(smoothed, cfg, &mut scratch)?;
+    Ok(NoiseSubspace {
+        projector: scratch.proj,
+        signal_dimension,
+        eigenvalues,
+    })
+}
+
+/// Core of [`noise_subspace`]: computes the projector into
+/// `scratch.proj` and returns `(signal_dimension, eigenvalues)`.
+///
+/// The projector is formed as the signal-subspace complement
+/// `G = I − E_S·E_Sᴴ`, which is mathematically identical to summing the
+/// noise eigenvectors (the eigenbasis is orthonormal and complete) but
+/// needs only `signal_dimension ≤ max_paths` outer products instead of
+/// `dim − signal_dimension` (≈ 5 instead of ≈ 25 for the paper's shapes).
+fn noise_projector_into(
+    smoothed: &CMat,
+    cfg: &SpotFiConfig,
+    scratch: &mut MusicScratch,
+) -> Result<(usize, Vec<f64>)> {
+    smoothed.mul_hermitian_self_into(&mut scratch.cov);
+    if !scratch.cov.as_slice().iter().all(|z| z.is_finite()) {
         return Err(SpotFiError::DegenerateCsi);
     }
-    let eig = hermitian_eigen(&r);
+    let eig = hermitian_eigen(&scratch.cov);
     let dim = eig.values.len();
     let lmax = eig.values[0].max(0.0);
     if lmax <= 0.0 {
@@ -99,87 +143,117 @@ pub fn noise_subspace(smoothed: &CMat, cfg: &SpotFiConfig) -> Result<NoiseSubspa
     let by_threshold = eig.values.iter().filter(|&&l| l >= threshold).count();
     let signal_dimension = by_threshold.min(cfg.music.max_paths).max(1);
 
-    // G = Σ_{k ≥ signal} v_k·v_kᴴ.
-    let mut g = CMat::zeros(dim, dim);
-    for k in signal_dimension..dim {
+    let g = &mut scratch.proj;
+    g.reset_zeros(dim, dim);
+    for i in 0..dim {
+        g[(i, i)] = c64::ONE;
+    }
+    for k in 0..signal_dimension {
         let v = eig.vectors.col(k);
         for j in 0..dim {
             let vj = v[j].conj();
+            let col = g.col_mut(j);
             for i in 0..dim {
-                g[(i, j)] += v[i] * vj;
+                col[i] -= v[i] * vj;
             }
         }
     }
-    Ok(NoiseSubspace {
-        projector: g,
-        signal_dimension,
-        eigenvalues: eig.values,
-    })
+    Ok((signal_dimension, eig.values))
 }
 
 /// Evaluates the MUSIC pseudospectrum on the configured grid using the
 /// factored Kronecker evaluation.
+///
+/// Convenience wrapper around [`music_spectrum_cached`] that builds the
+/// steering table and scratch buffers for this one call; the pipeline
+/// reuses both across packets instead.
 pub fn music_spectrum(smoothed: &CMat, cfg: &SpotFiConfig) -> Result<MusicSpectrum> {
+    let cache = SteeringCache::new(cfg);
+    let mut scratch = MusicScratch::new(cfg);
+    music_spectrum_cached(smoothed, cfg, &cache, 1, &mut scratch)
+}
+
+/// Evaluates the MUSIC pseudospectrum with precomputed steering factors,
+/// reusable scratch buffers, and up to `threads` worker threads sweeping
+/// the ToF grid columns.
+///
+/// Each `(AoA, ToF)` cell is computed by arithmetic that depends only on
+/// that cell, so the result is bit-identical for every thread count.
+///
+/// # Panics
+/// Panics if `cache` was built for a different grid/subarray shape.
+pub fn music_spectrum_cached(
+    smoothed: &CMat,
+    cfg: &SpotFiConfig,
+    cache: &SteeringCache,
+    threads: usize,
+    scratch: &mut MusicScratch,
+) -> Result<MusicSpectrum> {
     let ns = cfg.smoothing.sub_subcarriers;
     let ms = cfg.smoothing.sub_antennas;
     debug_assert_eq!(smoothed.rows(), ms * ns);
+    assert!(
+        cache.matches(cfg),
+        "SteeringCache built for a different SpotFiConfig"
+    );
 
-    let sub = noise_subspace(smoothed, cfg)?;
-    let g = &sub.projector;
+    let (signal_dimension, _eigenvalues) = noise_projector_into(smoothed, cfg, scratch)?;
+    let g = &scratch.proj;
 
     let aoa_grid = cfg.music.aoa_grid_deg;
     let tof_grid = cfg.music.tof_grid_ns;
     let n_aoa = aoa_grid.len();
     let n_tof = tof_grid.len();
-    let mut values = vec![0.0f64; n_aoa * n_tof];
 
-    // Precompute Φ powers per AoA: p[m] for m in 0..ms.
-    let spacing = spotfi_channel::constants::half_wavelength_spacing(cfg.ofdm.carrier_hz);
-    let phi_pows: Vec<Vec<c64>> = (0..n_aoa)
-        .map(|ia| {
-            let theta = aoa_grid.value(ia).to_radians();
-            let step = phi(theta.sin(), spacing, cfg.ofdm.carrier_hz);
-            let mut pows = Vec::with_capacity(ms);
-            let mut cur = c64::ONE;
-            for _ in 0..ms {
-                pows.push(cur);
-                cur *= step;
-            }
-            pows
-        })
-        .collect();
-
-    let mut blocks = vec![c64::ZERO; ms * ms];
-    for it in 0..n_tof {
-        let tau = tof_grid.value(it) * 1e-9;
-        let w = omega_powers(tau, ns, cfg.ofdm.subcarrier_spacing_hz);
-        // Block quadratic forms: B[ma][mb] = ωᴴ·G_block(ma, mb)·ω.
-        for ma in 0..ms {
-            for mb in 0..ms {
-                let mut acc = c64::ZERO;
-                for j in 0..ns {
-                    let wj = w[j];
-                    let col_base = mb * ns + j;
-                    let mut inner = c64::ZERO;
-                    for i in 0..ns {
-                        inner += w[i].conj() * g[(ma * ns + i, col_base)];
-                    }
-                    acc += inner * wj;
-                }
-                blocks[ma * ms + mb] = acc;
-            }
-        }
-        for ia in 0..n_aoa {
-            let p = &phi_pows[ia];
-            let mut denom = c64::ZERO;
+    // One task per ToF grid point: compute the M_s × M_s block quadratic
+    // forms B[ma][mb] = ωᴴ·G_block(ma, mb)·ω (O(M_s²·N_s²)), then sweep all
+    // AoAs in O(M_s²) each. G is Hermitian, so B is too: only the lower
+    // triangle is computed, the upper is mirrored.
+    let columns: Vec<Vec<f64>> = parallel_map_with(
+        n_tof,
+        threads,
+        || vec![c64::ZERO; ms * ms],
+        |blocks, it| {
+            let w = cache.omega_row(it);
             for ma in 0..ms {
-                for mb in 0..ms {
-                    denom += p[ma].conj() * blocks[ma * ms + mb] * p[mb];
+                for mb in 0..=ma {
+                    let mut acc = c64::ZERO;
+                    for j in 0..ns {
+                        let wj = w[j];
+                        let col_base = mb * ns + j;
+                        let mut inner = c64::ZERO;
+                        for i in 0..ns {
+                            inner += w[i].conj() * g[(ma * ns + i, col_base)];
+                        }
+                        acc += inner * wj;
+                    }
+                    blocks[ma * ms + mb] = acc;
+                    if mb != ma {
+                        blocks[mb * ms + ma] = acc.conj();
+                    }
                 }
             }
-            // Theoretically real and ≥ 0; clamp for numerical safety.
-            let d = denom.re.max(1e-12);
-            values[ia * n_tof + it] = 1.0 / d;
+            let mut column = vec![0.0f64; n_aoa];
+            for (ia, out) in column.iter_mut().enumerate() {
+                let p = cache.phi_row(ia);
+                let mut denom = c64::ZERO;
+                for ma in 0..ms {
+                    for mb in 0..ms {
+                        denom += p[ma].conj() * blocks[ma * ms + mb] * p[mb];
+                    }
+                }
+                // Theoretically real and ≥ 0; clamp for numerical safety.
+                let d = denom.re.max(1e-12);
+                *out = 1.0 / d;
+            }
+            column
+        },
+    );
+
+    let mut values = vec![0.0f64; n_aoa * n_tof];
+    for (it, column) in columns.iter().enumerate() {
+        for (ia, v) in column.iter().enumerate() {
+            values[ia * n_tof + it] = *v;
         }
     }
 
@@ -187,7 +261,7 @@ pub fn music_spectrum(smoothed: &CMat, cfg: &SpotFiConfig) -> Result<MusicSpectr
         aoa_grid,
         tof_grid,
         values,
-        signal_dimension: sub.signal_dimension,
+        signal_dimension,
     })
 }
 
@@ -322,6 +396,83 @@ mod tests {
                 fast
             );
         }
+    }
+
+    #[test]
+    fn cached_parallel_spectrum_is_bit_identical_to_serial() {
+        let c = cfg();
+        let csi = csi_for_paths(&[(20.0, 60.0, c64::ONE), (-10.0, 150.0, c64::new(0.2, 0.5))]);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let cache = SteeringCache::new(&c);
+        let mut s1 = MusicScratch::new(&c);
+        let serial = music_spectrum_cached(&x, &c, &cache, 1, &mut s1).unwrap();
+        // The wrapper (fresh cache + scratch, serial) must agree exactly too.
+        let wrapper = music_spectrum(&x, &c).unwrap();
+        assert_eq!(serial.values, wrapper.values);
+        for threads in [2usize, 3, 8] {
+            let mut s = MusicScratch::new(&c);
+            let par = music_spectrum_cached(&x, &c, &cache, threads, &mut s).unwrap();
+            assert_eq!(serial.values, par.values, "threads={}", threads);
+            assert_eq!(serial.signal_dimension, par.signal_dimension);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_contaminate_results() {
+        let c = cfg();
+        let a = csi_for_paths(&[(35.0, 90.0, c64::ONE)]);
+        let b = csi_for_paths(&[(-60.0, 210.0, c64::new(0.1, 0.9))]);
+        let xa = smoothed_csi(&a, &c).unwrap();
+        let xb = smoothed_csi(&b, &c).unwrap();
+        let cache = SteeringCache::new(&c);
+        // One scratch reused for a → b → a again.
+        let mut s = MusicScratch::new(&c);
+        let first = music_spectrum_cached(&xa, &c, &cache, 1, &mut s).unwrap();
+        let _other = music_spectrum_cached(&xb, &c, &cache, 1, &mut s).unwrap();
+        let again = music_spectrum_cached(&xa, &c, &cache, 1, &mut s).unwrap();
+        assert_eq!(first.values, again.values);
+        // And a reused scratch matches a fresh one exactly.
+        let mut fresh = MusicScratch::new(&c);
+        let clean = music_spectrum_cached(&xb, &c, &cache, 1, &mut fresh).unwrap();
+        assert_eq!(_other.values, clean.values);
+    }
+
+    #[test]
+    #[should_panic(expected = "different SpotFiConfig")]
+    fn mismatched_cache_panics() {
+        let c = cfg();
+        let mut other = c.clone();
+        other.music.tof_grid_ns = crate::config::GridSpec::new(-50.0, 200.0, 5.0);
+        let cache = SteeringCache::new(&other);
+        let csi = csi_for_paths(&[(0.0, 50.0, c64::ONE)]);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let mut s = MusicScratch::new(&c);
+        let _ = music_spectrum_cached(&x, &c, &cache, 1, &mut s);
+    }
+
+    #[test]
+    fn signal_complement_projector_matches_noise_sum() {
+        // G = I − E_S·E_Sᴴ must equal Σ_{k ≥ signal} v_k·v_kᴴ up to
+        // orthonormality error of the eigenbasis.
+        let c = cfg();
+        let csi = csi_for_paths(&[(15.0, 80.0, c64::ONE), (-30.0, 180.0, c64::new(0.3, 0.4))]);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let sub = noise_subspace(&x, &c).unwrap();
+        let r = x.mul_hermitian_self();
+        let eig = hermitian_eigen(&r);
+        let dim = eig.values.len();
+        let mut g_sum = CMat::zeros(dim, dim);
+        for k in sub.signal_dimension..dim {
+            let v = eig.vectors.col(k);
+            for j in 0..dim {
+                let vj = v[j].conj();
+                for i in 0..dim {
+                    g_sum[(i, j)] += v[i] * vj;
+                }
+            }
+        }
+        let diff = (&sub.projector - &g_sum).max_abs();
+        assert!(diff < 1e-9, "projector mismatch {}", diff);
     }
 
     #[test]

@@ -140,7 +140,10 @@ mod tests {
         assert!((fit.exponent - truth.exponent).abs() < 1e-9);
         let w_in = [1.0, 1.0, 1.0, 1.0, 1.0];
         let bad = PathLossModel::fit_weighted(&samples, &w_in).unwrap();
-        assert!((bad.exponent - truth.exponent).abs() > 0.5, "outlier should distort");
+        assert!(
+            (bad.exponent - truth.exponent).abs() > 0.5,
+            "outlier should distort"
+        );
     }
 
     #[test]
@@ -149,8 +152,6 @@ mod tests {
         // All same distance: slope undetermined.
         assert!(PathLossModel::fit(&[(2.0, -40.0), (2.0, -45.0), (2.0, -42.0)]).is_none());
         // All weights zero.
-        assert!(
-            PathLossModel::fit_weighted(&[(1.0, -40.0), (5.0, -55.0)], &[0.0, 0.0]).is_none()
-        );
+        assert!(PathLossModel::fit_weighted(&[(1.0, -40.0), (5.0, -55.0)], &[0.0, 0.0]).is_none());
     }
 }

@@ -161,7 +161,11 @@ mod tests {
 
     #[test]
     fn finds_all_bumps_in_order() {
-        let spec = bump_spectrum(&[(-30.0, 50.0, 100.0), (20.0, 150.0, 60.0), (60.0, 250.0, 30.0)]);
+        let spec = bump_spectrum(&[
+            (-30.0, 50.0, 100.0),
+            (20.0, 150.0, 60.0),
+            (60.0, 250.0, 30.0),
+        ]);
         let peaks = find_peaks(&spec, 5);
         assert_eq!(peaks.len(), 3);
         assert!((peaks[0].aoa_deg + 30.0).abs() < 2.0);
@@ -174,7 +178,11 @@ mod tests {
 
     #[test]
     fn max_peaks_truncates() {
-        let spec = bump_spectrum(&[(-30.0, 50.0, 100.0), (20.0, 150.0, 60.0), (60.0, 250.0, 30.0)]);
+        let spec = bump_spectrum(&[
+            (-30.0, 50.0, 100.0),
+            (20.0, 150.0, 60.0),
+            (60.0, 250.0, 30.0),
+        ]);
         let peaks = find_peaks(&spec, 2);
         assert_eq!(peaks.len(), 2);
         assert!((peaks[0].aoa_deg + 30.0).abs() < 2.0);
@@ -217,11 +225,11 @@ mod tests {
     fn end_to_end_music_peaks_recover_paths() {
         let cfg = SpotFiConfig::fast_test();
         let spacing = spotfi_channel::constants::half_wavelength_spacing(DEFAULT_CARRIER_HZ);
-        let truth = [(-35.0, 30.0), (25.0, 140.0)];
+        let truth = [(-35.0f64, 30.0f64), (25.0, 140.0)];
         let mut csi = CMat::zeros(3, 30);
         for &(aoa, tof) in &truth {
             let v = steering_vector(
-                (aoa as f64).to_radians().sin(),
+                aoa.to_radians().sin(),
                 tof * 1e-9,
                 3,
                 30,

@@ -13,19 +13,36 @@
 //!
 //! [`SpotFi`] is the user-facing object: construct it with a
 //! [`SpotFiConfig`], feed it per-AP packet sets, get a location.
+//!
+//! ### Execution model
+//!
+//! Construction precomputes a [`SteeringCache`] (the MUSIC grid's steering
+//! factors) once per configuration. Analysis fans out on the scoped-thread
+//! engine in [`crate::runtime`] at three levels — APs, packets, and MUSIC
+//! ToF columns — splitting the single [`RuntimeConfig`] thread budget
+//! top-down. Every per-item computation is pure, so results are
+//! bit-identical for every thread count; `threads = 1` runs the plain
+//! serial path. Each worker owns a [`PacketScratch`] so per-packet buffers
+//! (smoothed matrix, covariance, noise projector) are allocated once per
+//! worker, not once per packet.
 
 use spotfi_channel::{AntennaArray, CsiPacket};
 use spotfi_math::stats::mean;
+use spotfi_math::CMat;
 
 use crate::cluster::{cluster_estimates, Clustering};
 use crate::config::SpotFiConfig;
 use crate::error::{Result, SpotFiError};
 use crate::likelihood::{select_direct_path, DirectPath};
-use crate::localize::{localize, localize_in_bounds, ApMeasurement, LocationEstimate, SearchBounds};
-use crate::music::music_spectrum;
+use crate::localize::{
+    localize, localize_in_bounds, ApMeasurement, LocationEstimate, SearchBounds,
+};
+use crate::music::{music_spectrum_cached, MusicScratch};
 use crate::peaks::{find_peaks_filtered, PathEstimate};
+use crate::runtime::{parallel_map, parallel_map_with, RuntimeConfig};
 use crate::sanitize::sanitize_csi;
-use crate::smoothing::smoothed_csi;
+use crate::smoothing::smoothed_csi_into;
+use crate::steering::SteeringCache;
 
 /// What one AP heard: its array geometry plus the packets it captured.
 #[derive(Clone, Debug)]
@@ -65,16 +82,45 @@ impl ApAnalysis {
     }
 }
 
+/// Reusable per-worker buffers for one packet's analysis chain: the
+/// smoothed measurement matrix plus the MUSIC covariance/projector
+/// scratch. Fully overwritten on every packet, so one scratch serves a
+/// worker for the lifetime of a run.
+#[derive(Clone, Debug)]
+pub struct PacketScratch {
+    smoothed: CMat,
+    music: MusicScratch,
+}
+
+impl PacketScratch {
+    /// Allocates buffers sized for `cfg`.
+    pub fn new(cfg: &SpotFiConfig) -> Self {
+        PacketScratch {
+            smoothed: CMat::zeros(cfg.smoothed_rows(), cfg.smoothed_cols()),
+            music: MusicScratch::new(cfg),
+        }
+    }
+}
+
 /// The SpotFi estimator.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SpotFi {
     config: SpotFiConfig,
+    cache: SteeringCache,
+}
+
+impl Default for SpotFi {
+    fn default() -> Self {
+        SpotFi::new(SpotFiConfig::default())
+    }
 }
 
 impl SpotFi {
-    /// Creates an estimator with the given configuration.
+    /// Creates an estimator with the given configuration, precomputing the
+    /// MUSIC steering table for it.
     pub fn new(config: SpotFiConfig) -> Self {
-        SpotFi { config }
+        let cache = SteeringCache::new(&config);
+        SpotFi { config, cache }
     }
 
     /// The active configuration.
@@ -82,23 +128,48 @@ impl SpotFi {
         &self.config
     }
 
+    /// The precomputed steering table (shared by all workers).
+    pub fn steering_cache(&self) -> &SteeringCache {
+        &self.cache
+    }
+
     /// Estimates the multipath parameters of a single packet: sanitize →
     /// smooth → estimator (Algorithm 2 steps 3–7). The estimator is MUSIC
     /// by default; [`crate::config::Estimator::Esprit`] swaps in the
     /// grid-free shift-invariance algorithm.
     pub fn analyze_packet(&self, packet: &CsiPacket) -> Result<Vec<PathEstimate>> {
+        self.analyze_packet_with(packet, 1, &mut PacketScratch::new(&self.config))
+    }
+
+    /// [`analyze_packet`](Self::analyze_packet) with an explicit MUSIC
+    /// thread budget and caller-owned scratch buffers — the form the
+    /// pipeline's workers use.
+    pub fn analyze_packet_with(
+        &self,
+        packet: &CsiPacket,
+        music_threads: usize,
+        scratch: &mut PacketScratch,
+    ) -> Result<Vec<PathEstimate>> {
         let sanitized = sanitize_csi(&packet.csi, self.config.ofdm.subcarrier_spacing_hz)?;
-        let x = smoothed_csi(&sanitized.csi, &self.config)?;
+        smoothed_csi_into(&sanitized.csi, &self.config, &mut scratch.smoothed)?;
         let peaks = match self.config.estimator {
             crate::config::Estimator::Music => {
-                let spec = music_spectrum(&x, &self.config)?;
+                let spec = music_spectrum_cached(
+                    &scratch.smoothed,
+                    &self.config,
+                    &self.cache,
+                    music_threads,
+                    &mut scratch.music,
+                )?;
                 find_peaks_filtered(
                     &spec,
                     self.config.music.max_paths,
                     self.config.music.min_relative_peak_power,
                 )
             }
-            crate::config::Estimator::Esprit => crate::esprit::esprit_paths(&x, &self.config)?,
+            crate::config::Estimator::Esprit => {
+                crate::esprit::esprit_paths(&scratch.smoothed, &self.config)?
+            }
         };
         if peaks.is_empty() {
             return Err(SpotFiError::NoPaths);
@@ -107,15 +178,29 @@ impl SpotFi {
     }
 
     /// Full per-AP analysis (Algorithm 2 steps 2–10): per-packet estimation,
-    /// clustering across packets, direct-path selection.
+    /// clustering across packets, direct-path selection. Packets are
+    /// analyzed in parallel within the configured thread budget.
     pub fn analyze_ap(&self, ap: &ApPackets) -> Result<ApAnalysis> {
+        self.analyze_ap_budgeted(ap, self.config.runtime)
+    }
+
+    /// Per-AP analysis under an explicit thread budget (the AP fan-out in
+    /// [`analyze_all`](Self::analyze_all) hands each AP its share).
+    fn analyze_ap_budgeted(&self, ap: &ApPackets, budget: RuntimeConfig) -> Result<ApAnalysis> {
         if ap.packets.is_empty() {
             return Err(SpotFiError::NoPackets);
         }
+        let (workers, inner) = budget.split(ap.packets.len());
+        let per_packet: Vec<Result<Vec<PathEstimate>>> = parallel_map_with(
+            ap.packets.len(),
+            workers,
+            || PacketScratch::new(&self.config),
+            |scratch, i| self.analyze_packet_with(&ap.packets[i], inner.threads(), scratch),
+        );
         let mut estimates = Vec::new();
         let mut dropped = 0usize;
-        for packet in &ap.packets {
-            match self.analyze_packet(packet) {
+        for result in per_packet {
+            match result {
                 Ok(mut peaks) => estimates.append(&mut peaks),
                 Err(_) => dropped += 1,
             }
@@ -160,12 +245,17 @@ impl SpotFi {
         localize_in_bounds(&measurements, bounds, &self.config.localize)
     }
 
-    /// Runs per-AP analysis on every AP, keeping successes.
+    /// Runs per-AP analysis on every AP, keeping successes. APs are
+    /// analyzed in parallel; each AP's inner packet/MUSIC fan-out gets the
+    /// per-branch remainder of the thread budget.
     pub fn analyze_all(&self, aps: &[ApPackets]) -> Result<Vec<ApAnalysis>> {
-        let analyses: Vec<ApAnalysis> = aps
-            .iter()
-            .filter_map(|ap| self.analyze_ap(ap).ok())
-            .collect();
+        let (workers, inner) = self.config.runtime.split(aps.len());
+        let analyses: Vec<ApAnalysis> = parallel_map(aps.len(), workers, |i| {
+            self.analyze_ap_budgeted(&aps[i], inner).ok()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         if analyses.is_empty() {
             return Err(SpotFiError::InsufficientAps { usable: 0 });
         }
@@ -176,12 +266,9 @@ impl SpotFi {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use spotfi_channel::{
-        Floorplan, OfdmConfig, PacketTrace, Point, TraceConfig,
-    };
     use spotfi_channel::constants::DEFAULT_CARRIER_HZ;
+    use spotfi_channel::Rng;
+    use spotfi_channel::{Floorplan, OfdmConfig, PacketTrace, Point, TraceConfig};
 
     fn ap_array(x: f64, y: f64, toward: Point) -> AntennaArray {
         let angle = (toward - Point::new(x, y)).angle();
@@ -200,7 +287,7 @@ mod tests {
         n: usize,
         seed: u64,
     ) -> ApPackets {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let trace = PacketTrace::generate(plan, target, &array, cfg, n, &mut rng).unwrap();
         ApPackets {
             array,
@@ -237,12 +324,24 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &(x, y))| {
-                gen_packets(&plan, target, ap_array(x, y, center), &cfg, 10, 100 + i as u64)
+                gen_packets(
+                    &plan,
+                    target,
+                    ap_array(x, y, center),
+                    &cfg,
+                    10,
+                    100 + i as u64,
+                )
             })
             .collect();
         let est = spotfi().localize(&aps).unwrap();
         let err = est.position.distance(target);
-        assert!(err < 1.0, "localization error {} m at {:?}", err, est.position);
+        assert!(
+            err < 1.0,
+            "localization error {} m at {:?}",
+            err,
+            est.position
+        );
     }
 
     #[test]
@@ -264,7 +363,10 @@ mod tests {
             array,
             packets: vec![],
         };
-        assert_eq!(spotfi().analyze_ap(&ap).unwrap_err(), SpotFiError::NoPackets);
+        assert_eq!(
+            spotfi().analyze_ap(&ap).unwrap_err(),
+            SpotFiError::NoPackets
+        );
         assert!(matches!(
             spotfi().localize(&[]),
             Err(SpotFiError::InsufficientAps { .. })
@@ -287,5 +389,58 @@ mod tests {
         // Free space: ≥ 1 estimate per packet.
         assert!(analysis.path_estimates.len() >= 8);
         let _ = OfdmConfig::intel5300_40mhz();
+    }
+
+    #[test]
+    fn parallel_pipeline_is_bit_identical_to_serial() {
+        let plan = Floorplan::empty();
+        let target = Point::new(4.0, 6.0);
+        let center = Point::new(5.0, 5.0);
+        let trace_cfg = TraceConfig::commodity();
+        let aps: Vec<ApPackets> = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                gen_packets(
+                    &plan,
+                    target,
+                    ap_array(x, y, center),
+                    &trace_cfg,
+                    6,
+                    50 + i as u64,
+                )
+            })
+            .collect();
+
+        let mut serial_cfg = SpotFiConfig::fast_test();
+        serial_cfg.runtime = RuntimeConfig::serial();
+        let serial = SpotFi::new(serial_cfg.clone());
+        let reference = serial.localize(&aps).unwrap();
+        let reference_ap = serial.analyze_ap(&aps[0]).unwrap();
+
+        for threads in [2usize, 5, 8] {
+            let mut cfg = SpotFiConfig::fast_test();
+            cfg.runtime = RuntimeConfig::with_threads(threads);
+            let par = SpotFi::new(cfg);
+            // Location must match the serial path bit for bit.
+            let est = par.localize(&aps).unwrap();
+            assert_eq!(est.position.x, reference.position.x, "threads={}", threads);
+            assert_eq!(est.position.y, reference.position.y, "threads={}", threads);
+            assert_eq!(est.cost, reference.cost, "threads={}", threads);
+            // So must every per-packet path estimate (order included).
+            let ap = par.analyze_ap(&aps[0]).unwrap();
+            assert_eq!(
+                ap.path_estimates.len(),
+                reference_ap.path_estimates.len(),
+                "threads={}",
+                threads
+            );
+            for (a, b) in ap.path_estimates.iter().zip(&reference_ap.path_estimates) {
+                assert_eq!(a.aoa_deg, b.aoa_deg);
+                assert_eq!(a.tof_ns, b.tof_ns);
+                assert_eq!(a.power, b.power);
+            }
+            assert_eq!(ap.dropped_packets, reference_ap.dropped_packets);
+        }
     }
 }

@@ -1,0 +1,199 @@
+//! Scoped-thread parallel execution engine (zero dependencies).
+//!
+//! The SpotFi pipeline fans out naturally at three levels — APs within a
+//! fix, packets within an AP, and ToF columns within one MUSIC sweep — and
+//! every unit of work at each level is independent and pure. This module
+//! provides the one primitive all three share: [`parallel_map_with`], an
+//! order-preserving indexed map over `std::thread::scope` workers with
+//! per-worker scratch state.
+//!
+//! **Determinism:** workers pull indices from a shared atomic counter, so
+//! *which* worker computes item `i` is racy — but item `i`'s result depends
+//! only on `i`, and results are returned in index order. Combined with the
+//! pipeline's purely-functional per-item closures this makes `threads > 1`
+//! bit-identical to the serial path (`threads == 1`), which short-circuits
+//! to a plain loop with no thread machinery at all.
+//!
+//! **Thread budgeting:** nested fan-out levels split one global budget with
+//! [`RuntimeConfig::split`] instead of spawning `threads × threads`
+//! workers: the outer level takes `min(threads, branches)` workers and each
+//! branch runs its inner levels with the per-branch remainder.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Execution-resource configuration for the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker-thread budget for one pipeline invocation. `1` means fully
+    /// serial (the reference path); `0` is normalized to `1`.
+    pub threads: usize,
+}
+
+impl Default for RuntimeConfig {
+    /// Uses all available hardware parallelism.
+    fn default() -> Self {
+        RuntimeConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The serial reference configuration.
+    pub fn serial() -> Self {
+        RuntimeConfig { threads: 1 }
+    }
+
+    /// A fixed thread budget.
+    pub fn with_threads(threads: usize) -> Self {
+        RuntimeConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Normalized thread budget (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads.max(1)
+    }
+
+    /// Splits this budget across `branches` parallel branches: returns
+    /// `(outer_workers, per_branch_budget)`. The outer level runs
+    /// `outer_workers` branches concurrently and each branch's nested
+    /// levels get `per_branch_budget` threads.
+    pub fn split(&self, branches: usize) -> (usize, RuntimeConfig) {
+        let t = self.threads();
+        let outer = t.min(branches.max(1));
+        (outer, RuntimeConfig::with_threads(t / outer))
+    }
+}
+
+/// Maps `f` over `0..n` with up to `threads` scoped workers, each carrying
+/// scratch state built once per worker by `init`. Results come back in
+/// index order. With `threads <= 1` (or `n <= 1`) this degenerates to a
+/// plain serial loop — no threads, no atomics.
+pub fn parallel_map_with<T, S, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            let init = &init;
+            handles.push(scope.spawn(move || {
+                let mut scratch = init();
+                let mut out: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    out.push((i, f(&mut scratch, i)));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (i, v) in h.join().expect("runtime worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// [`parallel_map_with`] without per-worker scratch.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_with(n, threads, || (), |_, i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = parallel_map(100, 1, |i| i * i);
+        let parallel = parallel_map(100, 8, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn order_preserved_under_contention() {
+        // Uneven work per item stresses the work-stealing order.
+        let out = parallel_map(64, 4, |i| {
+            let mut acc = i as u64;
+            for k in 0..(i % 7) * 10_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k as u64);
+            }
+            (i, acc)
+        });
+        for (i, (idx, _)) in out.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn scratch_reused_within_worker() {
+        // Each worker's scratch counts its items; the sum must be n.
+        let counts = parallel_map_with(
+            50,
+            4,
+            || 0usize,
+            |c, _i| {
+                *c += 1;
+                *c
+            },
+        );
+        // Per-item values are each worker's running count — all ≥ 1.
+        assert!(counts.iter().all(|&c| c >= 1));
+        assert_eq!(counts.len(), 50);
+    }
+
+    #[test]
+    fn budget_split() {
+        let rt = RuntimeConfig::with_threads(8);
+        assert_eq!(rt.split(4), (4, RuntimeConfig::with_threads(2)));
+        assert_eq!(rt.split(16), (8, RuntimeConfig::with_threads(1)));
+        assert_eq!(rt.split(1), (1, RuntimeConfig::with_threads(8)));
+        assert_eq!(
+            RuntimeConfig::serial().split(4),
+            (1, RuntimeConfig::serial())
+        );
+        // Zero-thread configs normalize to serial.
+        assert_eq!(RuntimeConfig { threads: 0 }.threads(), 1);
+    }
+
+    #[test]
+    fn default_uses_available_parallelism() {
+        assert!(RuntimeConfig::default().threads() >= 1);
+    }
+}

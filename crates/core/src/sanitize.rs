@@ -69,8 +69,7 @@ pub fn sanitize_csi(csi: &CMat, subcarrier_spacing_hz: f64) -> Result<SanitizedC
             ys.push(*psi);
         }
     }
-    let (slope, _intercept) =
-        linear_fit(&xs, &ys).ok_or(SpotFiError::DegenerateCsi)?;
+    let (slope, _intercept) = linear_fit(&xs, &ys).ok_or(SpotFiError::DegenerateCsi)?;
 
     // slope = −2π·f_δ·τ̂_s  ⇒  τ̂_s = −slope / (2π·f_δ).
     let estimated_sto_s = -slope / (2.0 * std::f64::consts::PI * subcarrier_spacing_hz);

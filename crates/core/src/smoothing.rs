@@ -22,6 +22,14 @@ use crate::error::{Result, SpotFiError};
 /// For the paper's 3 × 30 configuration with a 2 × 15 subarray this yields a
 /// 30 × 32 matrix.
 pub fn smoothed_csi(csi: &CMat, cfg: &SpotFiConfig) -> Result<CMat> {
+    let mut x = CMat::zeros(0, 0);
+    smoothed_csi_into(csi, cfg, &mut x)?;
+    Ok(x)
+}
+
+/// [`smoothed_csi`] writing into a caller-owned buffer (resized as needed),
+/// so the per-packet pipeline can reuse one allocation across packets.
+pub fn smoothed_csi_into(csi: &CMat, cfg: &SpotFiConfig, out: &mut CMat) -> Result<()> {
     let (m_ant, n_sub) = csi.shape();
     let expect = cfg.csi_shape();
     if (m_ant, n_sub) != expect {
@@ -38,20 +46,20 @@ pub fn smoothed_csi(csi: &CMat, cfg: &SpotFiConfig) -> Result<CMat> {
 
     let ant_shifts = m_ant - ms + 1;
     let sub_shifts = n_sub - ns + 1;
-    let mut x = CMat::zeros(ms * ns, ant_shifts * sub_shifts);
+    out.reset_zeros(ms * ns, ant_shifts * sub_shifts);
 
     let mut col = 0;
     for dm in 0..ant_shifts {
         for dn in 0..sub_shifts {
             for m_s in 0..ms {
                 for n_s in 0..ns {
-                    x[(m_s * ns + n_s, col)] = csi[(m_s + dm, n_s + dn)];
+                    out[(m_s * ns + n_s, col)] = csi[(m_s + dm, n_s + dn)];
                 }
             }
             col += 1;
         }
     }
-    Ok(x)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -219,7 +227,10 @@ mod tests {
                 assert_eq!(expected, (3, 30));
                 assert_eq!(got, (2, 30));
             }
-            other => panic!("expected shape mismatch, got {:?}", other.map(|m| m.shape())),
+            other => panic!(
+                "expected shape mismatch, got {:?}",
+                other.map(|m| m.shape())
+            ),
         }
     }
 }

@@ -10,8 +10,10 @@
 //! array is the Kronecker structure of Eq. 7, ordered antenna-major:
 //! element `(m, n)` at index `m·N + n` equals `Φ^m · Ω^n`.
 
-use spotfi_channel::constants::SPEED_OF_LIGHT;
+use spotfi_channel::constants::{half_wavelength_spacing, SPEED_OF_LIGHT};
 use spotfi_math::c64;
+
+use crate::config::SpotFiConfig;
 
 /// Per-antenna phase factor `Φ(θ)` (Eq. 1).
 ///
@@ -65,6 +67,101 @@ pub fn omega_powers(tof_s: f64, n_sub: usize, subcarrier_spacing_hz: f64) -> Vec
         w *= step;
     }
     out
+}
+
+/// Precomputed steering-vector factors for one `SpotFiConfig`'s MUSIC grid.
+///
+/// The factored spectrum evaluation needs `Φ(θ)^0..Φ^{M_s−1}` for every AoA
+/// grid point and `Ω(τ)^0..Ω^{N_s−1}` for every ToF grid point. Those only
+/// depend on the configuration — not on the packet — so [`crate::SpotFi`]
+/// builds this table once at construction instead of re-deriving it inside
+/// every `music_spectrum` call (the seed implementation rebuilt ~181 Φ rows
+/// and ~251 Ω rows per packet).
+///
+/// Rows are computed with the exact same repeated-multiplication recurrence
+/// the uncached path used, so cached and uncached spectra are bit-identical.
+#[derive(Clone, Debug)]
+pub struct SteeringCache {
+    n_aoa: usize,
+    n_tof: usize,
+    ms: usize,
+    ns: usize,
+    /// Flattened `[n_aoa × ms]`: row `ia` is `Φ(θ_ia)^0..Φ^{ms−1}`.
+    phi_pows: Vec<c64>,
+    /// Flattened `[n_tof × ns]`: row `it` is `Ω(τ_it)^0..Ω^{ns−1}`.
+    omega_pows: Vec<c64>,
+}
+
+impl SteeringCache {
+    /// Builds the table for the config's AoA/ToF grids and subarray shape.
+    pub fn new(cfg: &SpotFiConfig) -> Self {
+        let ms = cfg.smoothing.sub_antennas;
+        let ns = cfg.smoothing.sub_subcarriers;
+        let aoa = cfg.music.aoa_grid_deg;
+        let tof = cfg.music.tof_grid_ns;
+        let spacing = half_wavelength_spacing(cfg.ofdm.carrier_hz);
+
+        let mut phi_pows = Vec::with_capacity(aoa.len() * ms);
+        for ia in 0..aoa.len() {
+            let theta = aoa.value(ia).to_radians();
+            let step = phi(theta.sin(), spacing, cfg.ofdm.carrier_hz);
+            let mut cur = c64::ONE;
+            for _ in 0..ms {
+                phi_pows.push(cur);
+                cur *= step;
+            }
+        }
+        let mut omega_pows = Vec::with_capacity(tof.len() * ns);
+        for it in 0..tof.len() {
+            let tau = tof.value(it) * 1e-9;
+            let step = omega(tau, cfg.ofdm.subcarrier_spacing_hz);
+            let mut w = c64::ONE;
+            for _ in 0..ns {
+                omega_pows.push(w);
+                w *= step;
+            }
+        }
+        SteeringCache {
+            n_aoa: aoa.len(),
+            n_tof: tof.len(),
+            ms,
+            ns,
+            phi_pows,
+            omega_pows,
+        }
+    }
+
+    /// Number of AoA grid points covered.
+    #[inline]
+    pub fn n_aoa(&self) -> usize {
+        self.n_aoa
+    }
+
+    /// Number of ToF grid points covered.
+    #[inline]
+    pub fn n_tof(&self) -> usize {
+        self.n_tof
+    }
+
+    /// `Φ(θ_ia)` powers for AoA grid index `ia` (length `ms`).
+    #[inline]
+    pub fn phi_row(&self, ia: usize) -> &[c64] {
+        &self.phi_pows[ia * self.ms..(ia + 1) * self.ms]
+    }
+
+    /// `Ω(τ_it)` powers for ToF grid index `it` (length `ns`).
+    #[inline]
+    pub fn omega_row(&self, it: usize) -> &[c64] {
+        &self.omega_pows[it * self.ns..(it + 1) * self.ns]
+    }
+
+    /// `true` if the table matches this config's grids and subarray shape.
+    pub fn matches(&self, cfg: &SpotFiConfig) -> bool {
+        self.n_aoa == cfg.music.aoa_grid_deg.len()
+            && self.n_tof == cfg.music.tof_grid_ns.len()
+            && self.ms == cfg.smoothing.sub_antennas
+            && self.ns == cfg.smoothing.sub_subcarriers
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +253,43 @@ mod tests {
         for (a, b) in pw.iter().zip(v.iter()) {
             assert!((*a - *b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn steering_cache_rows_are_bit_identical_to_recurrence() {
+        let cfg = SpotFiConfig::fast_test();
+        let cache = SteeringCache::new(&cfg);
+        assert!(cache.matches(&cfg));
+        let spacing = half_wavelength_spacing(cfg.ofdm.carrier_hz);
+        // Every Ω row must equal omega_powers() exactly (same recurrence).
+        for it in [0usize, 1, cache.n_tof() / 2, cache.n_tof() - 1] {
+            let tau = cfg.music.tof_grid_ns.value(it) * 1e-9;
+            let expect = omega_powers(
+                tau,
+                cfg.smoothing.sub_subcarriers,
+                cfg.ofdm.subcarrier_spacing_hz,
+            );
+            assert_eq!(cache.omega_row(it), &expect[..], "tof row {}", it);
+        }
+        // Every Φ row must equal the repeated-multiplication powers exactly.
+        for ia in [0usize, 7, cache.n_aoa() / 2, cache.n_aoa() - 1] {
+            let theta = cfg.music.aoa_grid_deg.value(ia).to_radians();
+            let step = phi(theta.sin(), spacing, cfg.ofdm.carrier_hz);
+            let mut cur = c64::ONE;
+            for (m, got) in cache.phi_row(ia).iter().enumerate() {
+                assert_eq!(*got, cur, "aoa row {} power {}", ia, m);
+                cur *= step;
+            }
+        }
+    }
+
+    #[test]
+    fn steering_cache_detects_config_mismatch() {
+        let cfg = SpotFiConfig::fast_test();
+        let cache = SteeringCache::new(&cfg);
+        let mut other = cfg.clone();
+        other.music.aoa_grid_deg = crate::config::GridSpec::new(-90.0, 90.0, 1.0);
+        assert!(!cache.matches(&other));
     }
 
     #[test]

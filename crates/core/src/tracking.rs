@@ -140,15 +140,13 @@ impl Tracker {
         let mut fp = [[0.0; 4]; 4];
         for i in 0..4 {
             for j in 0..4 {
-                fp[i][j] = p[i][j]
-                    + if i < 2 { dt * p[i + 2][j] } else { 0.0 };
+                fp[i][j] = p[i][j] + if i < 2 { dt * p[i + 2][j] } else { 0.0 };
             }
         }
         let mut pp = [[0.0; 4]; 4];
         for i in 0..4 {
             for j in 0..4 {
-                pp[i][j] = fp[i][j]
-                    + if j < 2 { dt * fp[i][j + 2] } else { 0.0 };
+                pp[i][j] = fp[i][j] + if j < 2 { dt * fp[i][j + 2] } else { 0.0 };
             }
         }
         // White-acceleration process noise.
@@ -184,10 +182,7 @@ impl Tracker {
 
         // ── Update ─────────────────────────────────────────────────────
         // K = P·Hᵀ·S⁻¹ (4×2).
-        let inv = [
-            [syy / det, -sxy / det],
-            [-sxy / det, sxx / det],
-        ];
+        let inv = [[syy / det, -sxy / det], [-sxy / det, sxx / det]];
         let mut k = [[0.0; 2]; 4];
         for i in 0..4 {
             for j in 0..2 {
@@ -258,7 +253,11 @@ mod tests {
             })
             .sum::<f64>()
             / 10.0;
-        assert!(late_err < 0.4, "late-track error {} m (raw noise 0.57 m RMS)", late_err);
+        assert!(
+            late_err < 0.4,
+            "late-track error {} m (raw noise 0.57 m RMS)",
+            late_err
+        );
         // Velocity estimate converges to (1, 0).
         let (vx, vy) = t.velocity().unwrap();
         assert!((vx - 1.0).abs() < 0.3, "vx {}", vx);
@@ -330,10 +329,18 @@ mod tests {
         let mut t = Tracker::new(TrackerConfig::default());
         for i in 0..50 {
             let noise = ((i * 37) % 11) as f64 / 11.0 - 0.5;
-            t.update(i as f64 * 0.5, Point::new(4.0 + noise * 0.6, 7.0 - noise * 0.6), None);
+            t.update(
+                i as f64 * 0.5,
+                Point::new(4.0 + noise * 0.6, 7.0 - noise * 0.6),
+                None,
+            );
         }
         let p = t.position().unwrap();
-        assert!(p.distance(Point::new(4.0, 7.0)) < 0.35, "converged to {:?}", p);
+        assert!(
+            p.distance(Point::new(4.0, 7.0)) < 0.35,
+            "converged to {:?}",
+            p
+        );
         let (vx, vy) = t.velocity().unwrap();
         assert!(vx.hypot(vy) < 0.3, "phantom velocity {} {}", vx, vy);
     }

@@ -1,7 +1,9 @@
-//! Property-based tests of the SpotFi algorithm building blocks.
+//! Randomized tests of the SpotFi algorithm building blocks.
+//!
+//! Cases are drawn from a seeded [`Rng`] loop (fixed seed ⇒ deterministic
+//! runs; the case index in a failure message reproduces it exactly).
 
-use proptest::prelude::*;
-
+use spotfi_channel::Rng;
 use spotfi_core::cluster::cluster_estimates;
 use spotfi_core::config::SpotFiConfig;
 use spotfi_core::likelihood::select_direct_path;
@@ -11,6 +13,7 @@ use spotfi_core::smoothing::smoothed_csi;
 use spotfi_core::steering::{omega, phi, steering_vector};
 use spotfi_math::{c64, CMat};
 
+const CASES: usize = 32;
 const CARRIER: f64 = 5.32e9;
 const F_DELTA: f64 = 1.25e6;
 const SPACING: f64 = 0.028_17;
@@ -20,20 +23,20 @@ fn csi_single(sin_theta: f64, tof_s: f64, gain: c64) -> CMat {
     CMat::from_fn(3, 30, |m, n| v[m * 30 + n] * gain)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The Fig. 3 shift property, for arbitrary parameters: every smoothed
-    /// column is the base column scaled by Φ^Δm·Ω^Δn.
-    #[test]
-    fn smoothing_shift_property(
-        sin_t in -0.95f64..0.95,
-        tof_ns in 0.0f64..350.0,
-        g_re in -1.0f64..1.0,
-        g_im in -1.0f64..1.0,
-    ) {
-        prop_assume!(g_re.abs() + g_im.abs() > 0.1);
-        let cfg = SpotFiConfig::default();
+/// The Fig. 3 shift property, for arbitrary parameters: every smoothed
+/// column is the base column scaled by Φ^Δm·Ω^Δn.
+#[test]
+fn smoothing_shift_property() {
+    let mut rng = Rng::seed_from_u64(0x7001);
+    let cfg = SpotFiConfig::default();
+    for case in 0..CASES {
+        let sin_t = rng.gen_range(-0.95..0.95);
+        let tof_ns = rng.gen_range(0.0..350.0);
+        let g_re = rng.gen_range(-1.0..1.0);
+        let g_im = rng.gen_range(-1.0..1.0);
+        if g_re.abs() + g_im.abs() <= 0.1 {
+            continue;
+        }
         let tof = tof_ns * 1e-9;
         let csi = csi_single(sin_t, tof, c64::new(g_re, g_im));
         let x = smoothed_csi(&csi, &cfg).unwrap();
@@ -46,20 +49,29 @@ proptest! {
                 let col = dm * sub_shifts + dn;
                 for r in 0..x.rows() {
                     let expect = x[(r, 0)] * scale;
-                    prop_assert!(
+                    assert!(
                         (x[(r, col)] - expect).abs() < 1e-9,
-                        "column ({}, {}) row {} mismatch",
-                        dm, dn, r
+                        "case {}: column ({}, {}) row {} mismatch",
+                        case,
+                        dm,
+                        dn,
+                        r
                     );
                 }
             }
         }
     }
+}
 
-    /// Sanitization is idempotent and magnitude-preserving on any CSI
-    /// whose phases come from a physical path model.
-    #[test]
-    fn sanitize_idempotent(sin_t in -0.9f64..0.9, tof_ns in 0.0f64..200.0, sto_ns in -80.0f64..80.0) {
+/// Sanitization is idempotent and magnitude-preserving on any CSI
+/// whose phases come from a physical path model.
+#[test]
+fn sanitize_idempotent() {
+    let mut rng = Rng::seed_from_u64(0x7002);
+    for case in 0..CASES {
+        let sin_t = rng.gen_range(-0.9..0.9);
+        let tof_ns = rng.gen_range(0.0..200.0);
+        let sto_ns = rng.gen_range(-80.0..80.0);
         let mut csi = csi_single(sin_t, tof_ns * 1e-9, c64::ONE);
         // Inject an STO ramp by hand.
         for n in 0..30 {
@@ -70,55 +82,76 @@ proptest! {
         }
         let once = sanitize_csi(&csi, F_DELTA).unwrap();
         let twice = sanitize_csi(&once.csi, F_DELTA).unwrap();
-        prop_assert!((&once.csi - &twice.csi).max_abs() < 1e-8);
-        prop_assert!(twice.estimated_sto_s.abs() < 1e-12);
+        assert!((&once.csi - &twice.csi).max_abs() < 1e-8, "case {}", case);
+        assert!(twice.estimated_sto_s.abs() < 1e-12, "case {}", case);
         for (a, b) in once.csi.as_slice().iter().zip(csi.as_slice()) {
-            prop_assert!((a.abs() - b.abs()).abs() < 1e-12);
+            assert!((a.abs() - b.abs()).abs() < 1e-12, "case {}", case);
         }
     }
+}
 
-    /// Clustering always partitions the input, regardless of geometry.
-    #[test]
-    fn clustering_partitions(
-        points in prop::collection::vec((-90.0f64..90.0, -100.0f64..400.0), 1..120),
-        k in 1usize..8,
-    ) {
-        let estimates: Vec<PathEstimate> = points
-            .iter()
-            .map(|&(a, t)| PathEstimate { aoa_deg: a, tof_ns: t, power: 1.0 })
+/// Clustering always partitions the input, regardless of geometry.
+#[test]
+fn clustering_partitions() {
+    let mut rng = Rng::seed_from_u64(0x7003);
+    for case in 0..CASES {
+        let len = 1 + (rng.next_u64() % 119) as usize;
+        let estimates: Vec<PathEstimate> = (0..len)
+            .map(|_| PathEstimate {
+                aoa_deg: rng.gen_range(-90.0..90.0),
+                tof_ns: rng.gen_range(-100.0..400.0),
+                power: 1.0,
+            })
             .collect();
+        let k = 1 + (rng.next_u64() % 7) as usize;
         let c = cluster_estimates(&estimates, k, 100);
         let mut seen = vec![false; estimates.len()];
         for cl in &c.clusters {
-            prop_assert!(cl.count == cl.members.len());
-            prop_assert!(cl.count > 0);
+            assert!(cl.count == cl.members.len(), "case {}", case);
+            assert!(cl.count > 0, "case {}", case);
             for &m in &cl.members {
-                prop_assert!(!seen[m], "point {} assigned twice", m);
+                assert!(!seen[m], "case {}: point {} assigned twice", case, m);
                 seen[m] = true;
             }
             // Cluster means lie within the data's bounding box.
-            prop_assert!(cl.mean_aoa_deg >= -90.0 - 1e-9 && cl.mean_aoa_deg <= 90.0 + 1e-9);
+            assert!(
+                cl.mean_aoa_deg >= -90.0 - 1e-9 && cl.mean_aoa_deg <= 90.0 + 1e-9,
+                "case {}",
+                case
+            );
         }
-        prop_assert!(seen.iter().all(|&s| s), "some point unassigned");
-        prop_assert!(c.clusters.len() <= k);
+        assert!(
+            seen.iter().all(|&s| s),
+            "case {}: some point unassigned",
+            case
+        );
+        assert!(c.clusters.len() <= k, "case {}", case);
     }
+}
 
-    /// Selection is invariant to a global ToF shift — the formal statement
-    /// of "sanitized ToFs are only relative" (the likelihood must not care
-    /// about the per-AP STO residue).
-    #[test]
-    fn selection_invariant_to_global_tof_shift(
-        points in prop::collection::vec((-80.0f64..80.0, 0.0f64..250.0), 12..60),
-        shift in -200.0f64..200.0,
-    ) {
-        let cfg = SpotFiConfig::default();
-        let base: Vec<PathEstimate> = points
-            .iter()
-            .map(|&(a, t)| PathEstimate { aoa_deg: a, tof_ns: t, power: 1.0 })
+/// Selection is invariant to a global ToF shift — the formal statement
+/// of "sanitized ToFs are only relative" (the likelihood must not care
+/// about the per-AP STO residue).
+#[test]
+fn selection_invariant_to_global_tof_shift() {
+    let mut rng = Rng::seed_from_u64(0x7004);
+    let cfg = SpotFiConfig::default();
+    for case in 0..CASES {
+        let len = 12 + (rng.next_u64() % 48) as usize;
+        let base: Vec<PathEstimate> = (0..len)
+            .map(|_| PathEstimate {
+                aoa_deg: rng.gen_range(-80.0..80.0),
+                tof_ns: rng.gen_range(0.0..250.0),
+                power: 1.0,
+            })
             .collect();
+        let shift = rng.gen_range(-200.0..200.0);
         let shifted: Vec<PathEstimate> = base
             .iter()
-            .map(|e| PathEstimate { tof_ns: e.tof_ns + shift, ..*e })
+            .map(|e| PathEstimate {
+                tof_ns: e.tof_ns + shift,
+                ..*e
+            })
             .collect();
         let sel_a = select_direct_path(
             &cluster_estimates(&base, cfg.cluster.num_clusters, 100),
@@ -130,28 +163,38 @@ proptest! {
         );
         match (sel_a, sel_b) {
             (Some(a), Some(b)) => {
-                prop_assert!((a.aoa_deg - b.aoa_deg).abs() < 1e-6,
-                    "selection moved under ToF shift: {} vs {}", a.aoa_deg, b.aoa_deg);
-                prop_assert!((b.tof_ns - a.tof_ns - shift).abs() < 1e-6);
+                assert!(
+                    (a.aoa_deg - b.aoa_deg).abs() < 1e-6,
+                    "case {}: selection moved under ToF shift: {} vs {}",
+                    case,
+                    a.aoa_deg,
+                    b.aoa_deg
+                );
+                assert!((b.tof_ns - a.tof_ns - shift).abs() < 1e-6, "case {}", case);
             }
             (None, None) => {}
-            _ => prop_assert!(false, "selection existence changed under ToF shift"),
+            _ => panic!("case {}: selection existence changed under ToF shift", case),
         }
     }
+}
 
-    /// The steering vector's Kronecker structure: a(θ,τ) restricted to one
-    /// antenna equals the subcarrier ramp times that antenna's phase.
-    #[test]
-    fn steering_kronecker_structure(sin_t in -1.0f64..1.0, tof_ns in 0.0f64..400.0) {
+/// The steering vector's Kronecker structure: a(θ,τ) restricted to one
+/// antenna equals the subcarrier ramp times that antenna's phase.
+#[test]
+fn steering_kronecker_structure() {
+    let mut rng = Rng::seed_from_u64(0x7005);
+    for case in 0..CASES {
+        let sin_t = rng.gen_range(-1.0..1.0);
+        let tof_ns = rng.gen_range(0.0..400.0);
         let v = steering_vector(sin_t, tof_ns * 1e-9, 3, 15, SPACING, CARRIER, F_DELTA);
         let p = phi(sin_t, SPACING, CARRIER);
         for m in 0..3 {
             let anchor = v[m * 15];
-            prop_assert!((anchor - p.powi(m as i32)).abs() < 1e-10);
+            assert!((anchor - p.powi(m as i32)).abs() < 1e-10, "case {}", case);
             for n in 0..15 {
                 // Row ratio within an antenna is Ω^n, independent of m.
                 let expect = v[n] * anchor;
-                prop_assert!((v[m * 15 + n] - expect).abs() < 1e-9);
+                assert!((v[m * 15 + n] - expect).abs() < 1e-9, "case {}", case);
             }
         }
     }
@@ -162,20 +205,22 @@ proptest! {
 /// end with consistent dimensions.
 #[test]
 fn generic_dimensions_pipeline() {
+    use spotfi_channel::OfdmConfig;
     use spotfi_core::config::{GridSpec, SmoothingConfig};
     use spotfi_core::{find_peaks, music_spectrum};
-    use spotfi_channel::OfdmConfig;
 
-    let mut cfg = SpotFiConfig::default();
-    cfg.num_antennas = 2;
-    cfg.ofdm = OfdmConfig {
-        carrier_hz: 2.437e9, // 2.4 GHz band
-        subcarrier_spacing_hz: 312_500.0 * 4.0,
-        num_subcarriers: 16,
-    };
-    cfg.smoothing = SmoothingConfig {
-        sub_antennas: 2,
-        sub_subcarriers: 8,
+    let mut cfg = SpotFiConfig {
+        num_antennas: 2,
+        ofdm: OfdmConfig {
+            carrier_hz: 2.437e9, // 2.4 GHz band
+            subcarrier_spacing_hz: 312_500.0 * 4.0,
+            num_subcarriers: 16,
+        },
+        smoothing: SmoothingConfig {
+            sub_antennas: 2,
+            sub_subcarriers: 8,
+        },
+        ..SpotFiConfig::default()
     };
     cfg.music.aoa_grid_deg = GridSpec::new(-90.0, 90.0, 2.0);
     cfg.music.tof_grid_ns = GridSpec::new(-100.0, 300.0, 5.0);

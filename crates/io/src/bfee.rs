@@ -72,9 +72,16 @@ impl fmt::Display for ParseError {
                 write!(f, "bfee header truncated: {} bytes", got)
             }
             ParseError::TruncatedPayload { expected, got } => {
-                write!(f, "bfee payload truncated: expected {}, got {}", expected, got)
+                write!(
+                    f,
+                    "bfee payload truncated: expected {}, got {}",
+                    expected, got
+                )
             }
-            ParseError::LengthMismatch { calculated, reported } => write!(
+            ParseError::LengthMismatch {
+                calculated,
+                reported,
+            } => write!(
                 f,
                 "bfee length mismatch: calculated {}, reported {}",
                 calculated, reported
@@ -173,7 +180,7 @@ impl BfeeRecord {
 
     /// Expected payload length for given dimensions (reference formula).
     pub fn calc_payload_len(nrx: usize, ntx: usize) -> usize {
-        (NUM_SUBCARRIERS * (nrx * ntx * 8 * 2 + 3) + 7) / 8
+        (NUM_SUBCARRIERS * (nrx * ntx * 8 * 2 + 3)).div_ceil(8)
     }
 
     /// Parses a record from the bytes following the `0xBB` code.
@@ -215,7 +222,9 @@ impl BfeeRecord {
         // Bit-packed extraction, identical to read_bfee.c.
         let nrx = nrx as usize;
         let ntx = ntx as usize;
-        let mut streams: Vec<CMat> = (0..ntx).map(|_| CMat::zeros(nrx, NUM_SUBCARRIERS)).collect();
+        let mut streams: Vec<CMat> = (0..ntx)
+            .map(|_| CMat::zeros(nrx, NUM_SUBCARRIERS))
+            .collect();
         let mut index = 0usize; // bit index
         for sc in 0..NUM_SUBCARRIERS {
             index += 3;
@@ -409,7 +418,10 @@ mod tests {
     #[test]
     fn payload_length_formula_matches_reference() {
         // Reference values from read_bfee.c for common configs.
-        assert_eq!(BfeeRecord::calc_payload_len(3, 1), (30 * (3 * 8 * 2 + 3) + 7) / 8);
+        assert_eq!(
+            BfeeRecord::calc_payload_len(3, 1),
+            (30usize * (3 * 8 * 2 + 3)).div_ceil(8)
+        );
         assert_eq!(BfeeRecord::calc_payload_len(3, 1), 192);
         assert_eq!(BfeeRecord::calc_payload_len(3, 2), 372);
         assert_eq!(BfeeRecord::calc_payload_len(3, 3), 552);

@@ -28,8 +28,7 @@ pub fn to_csi_packets(records: &[BfeeRecord]) -> Vec<CsiPacket> {
                 wraps += 1;
             }
             prev = r.timestamp_low;
-            let micros =
-                (r.timestamp_low as u64 + (wraps << 32)).wrapping_sub(t0 as u64) as f64;
+            let micros = (r.timestamp_low as u64 + (wraps << 32)).wrapping_sub(t0 as u64) as f64;
             CsiPacket {
                 csi: scaled_csi(r),
                 rssi_dbm: r.total_rssi_dbm(),
@@ -56,7 +55,9 @@ pub fn from_csi_packet(packet: &CsiPacket, bfee_count: u16, agc: u8) -> BfeeReco
 
     // total_rssi_dbm inverts as: rssi_a = rssi_dbm + 44 + agc (single
     // antenna contribution).
-    let rssi_a = (packet.rssi_dbm + 44.0 + agc as f64).round().clamp(1.0, 255.0) as u8;
+    let rssi_a = (packet.rssi_dbm + 44.0 + agc as f64)
+        .round()
+        .clamp(1.0, 255.0) as u8;
 
     BfeeRecord {
         timestamp_low: (packet.timestamp_s * 1e6) as u32,
@@ -78,8 +79,7 @@ pub fn from_csi_packet(packet: &CsiPacket, bfee_count: u16, agc: u8) -> BfeeReco
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use spotfi_channel::Rng;
     use spotfi_channel::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
 
     fn simulated_packets(n: usize) -> Vec<CsiPacket> {
@@ -89,7 +89,7 @@ mod tests {
             std::f64::consts::FRAC_PI_2,
             spotfi_channel::constants::DEFAULT_CARRIER_HZ,
         );
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = Rng::seed_from_u64(21);
         PacketTrace::generate(
             &plan,
             Point::new(2.0, 6.0),

@@ -166,7 +166,7 @@ mod tests {
         bytes.extend_from_slice(&write_dat(&[record(3)])[..20]); // cut off
         let (recs, _) = read_dat(&bytes);
         assert_eq!(recs.len(), 2);
-        assert_eq!(bytes.len() > full_len, true);
+        assert!(bytes.len() > full_len);
     }
 
     #[test]

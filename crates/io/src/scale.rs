@@ -104,7 +104,12 @@ mod tests {
         let total_noise = 10f64.powf(-90.0 / 10.0) + scale * 3.0;
         let expect = (scale / total_noise).sqrt();
         let got = out[(1, 7)].abs() / rec.csi[(1, 7)].abs();
-        assert!((got - expect).abs() < 1e-12 * expect, "{} vs {}", got, expect);
+        assert!(
+            (got - expect).abs() < 1e-12 * expect,
+            "{} vs {}",
+            got,
+            expect
+        );
     }
 
     #[test]

@@ -80,13 +80,17 @@ pub fn hermitian_eigen(a: &CMat) -> HermitianEigen {
     );
 
     // Working copy, forced exactly Hermitian from the lower triangle.
-    let mut h = CMat::from_fn(n, n, |r, c| {
-        if r >= c {
-            a[(r, c)]
-        } else {
-            a[(c, r)].conj()
-        }
-    });
+    let mut h = CMat::from_fn(
+        n,
+        n,
+        |r, c| {
+            if r >= c {
+                a[(r, c)]
+            } else {
+                a[(c, r)].conj()
+            }
+        },
+    );
     for i in 0..n {
         h[(i, i)] = c64::real(h[(i, i)].re);
     }
@@ -262,10 +266,7 @@ mod tests {
     #[test]
     fn known_2x2_complex() {
         // [[1, -i], [i, 1]] has eigenvalues 2 and 0.
-        let a = CMat::from_rows(&[
-            &[c64::real(1.0), -c64::I],
-            &[c64::I, c64::real(1.0)],
-        ]);
+        let a = CMat::from_rows(&[&[c64::real(1.0), -c64::I], &[c64::I, c64::real(1.0)]]);
         let e = hermitian_eigen(&a);
         assert!((e.values[0] - 2.0).abs() < 1e-12);
         assert!(e.values[1].abs() < 1e-12);
@@ -315,7 +316,11 @@ mod tests {
                     .zip(v.iter())
                     .map(|(a, b)| a.conj() * *b)
                     .sum();
-                assert!(dot.abs() < 1e-8, "noise vector not orthogonal: {}", dot.abs());
+                assert!(
+                    dot.abs() < 1e-8,
+                    "noise vector not orthogonal: {}",
+                    dot.abs()
+                );
             }
         }
     }

@@ -58,12 +58,7 @@ pub fn general_eigenvalues(a: &CMat) -> Option<Vec<c64>> {
         }
         if hi == 2 {
             // Solve the trailing 2×2 directly.
-            let (l1, l2) = eig2(
-                h[(0, 0)],
-                h[(0, 1)],
-                h[(1, 0)],
-                h[(1, 1)],
-            );
+            let (l1, l2) = eig2(h[(0, 0)], h[(0, 1)], h[(1, 0)], h[(1, 1)]);
             eigs.push(l1);
             eigs.push(l2);
             break;
@@ -82,7 +77,11 @@ pub fn general_eigenvalues(a: &CMat) -> Option<Vec<c64>> {
             h[(hi - 1, hi - 1)],
         );
         let t = h[(hi - 1, hi - 1)];
-        let shift = if (l1 - t).abs() < (l2 - t).abs() { l1 } else { l2 };
+        let shift = if (l1 - t).abs() < (l2 - t).abs() {
+            l1
+        } else {
+            l2
+        };
 
         // One implicit QR sweep on the active block: H ← Qᴴ(H−σI)… via
         // explicit Givens QR of (H − σI), then RQ + σI.
@@ -270,11 +269,7 @@ mod tests {
     }
 
     fn sort_by_abs(mut v: Vec<c64>) -> Vec<c64> {
-        v.sort_by(|a, b| {
-            (a.abs(), a.arg())
-                .partial_cmp(&(b.abs(), b.arg()))
-                .unwrap()
-        });
+        v.sort_by(|a, b| (a.abs(), a.arg()).partial_cmp(&(b.abs(), b.arg())).unwrap());
         v
     }
 
@@ -346,11 +341,11 @@ mod tests {
     fn eigenvectors_satisfy_definition() {
         let a = rand_mat(5, 77);
         let (values, vectors) = general_eigen(&a).unwrap();
-        for k in 0..5 {
+        for (k, &value) in values.iter().enumerate() {
             let v = vectors.col(k);
             let av = a.mul_vec(v);
             for r in 0..5 {
-                let expect = v[r] * values[k];
+                let expect = v[r] * value;
                 assert!(
                     (av[r] - expect).abs() < 1e-6,
                     "A·v ≠ λ·v at eigenpair {} row {}",
@@ -371,7 +366,12 @@ mod tests {
         jv.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (q, j) in qr.iter().zip(&jv) {
             assert!(q.im.abs() < 1e-8, "Hermitian eigenvalue not real: {}", q);
-            assert!((q.re - j).abs() < 1e-7 * j.abs().max(1.0), "{} vs {}", q.re, j);
+            assert!(
+                (q.re - j).abs() < 1e-7 * j.abs().max(1.0),
+                "{} vs {}",
+                q.re,
+                j
+            );
         }
     }
 
@@ -379,7 +379,10 @@ mod tests {
     fn tiny_sizes() {
         assert!(general_eigenvalues(&CMat::zeros(0, 0)).unwrap().is_empty());
         let one = CMat::from_rows(&[&[c64::new(2.0, -1.0)]]);
-        assert_eq!(general_eigenvalues(&one).unwrap(), vec![c64::new(2.0, -1.0)]);
+        assert_eq!(
+            general_eigenvalues(&one).unwrap(),
+            vec![c64::new(2.0, -1.0)]
+        );
     }
 
     #[test]

@@ -38,14 +38,15 @@ pub fn solve(a: &CMat, b: &CMat) -> Option<CMat> {
         }
         w.swap(k, piv);
         let inv = w[k][k].inv();
-        for r in (k + 1)..n {
-            let f = w[r][k] * inv;
+        let (pivot_rows, rest) = w.split_at_mut(k + 1);
+        let wk = &pivot_rows[k];
+        for wr in rest.iter_mut() {
+            let f = wr[k] * inv;
             if f == c64::ZERO {
                 continue;
             }
-            for c in k..(n + m) {
-                let v = w[k][c];
-                w[r][c] -= f * v;
+            for (dst, &src) in wr[k..].iter_mut().zip(&wk[k..]) {
+                *dst -= f * src;
             }
         }
     }
@@ -75,7 +76,9 @@ pub fn lstsq(a: &CMat, b: &CMat) -> Option<CMat> {
 pub fn determinant(a: &CMat) -> c64 {
     let n = a.rows();
     assert_eq!(n, a.cols());
-    let mut w: Vec<Vec<c64>> = (0..n).map(|r| (0..n).map(|c| a[(r, c)]).collect()).collect();
+    let mut w: Vec<Vec<c64>> = (0..n)
+        .map(|r| (0..n).map(|c| a[(r, c)]).collect())
+        .collect();
     let mut det = c64::ONE;
     for k in 0..n {
         let (piv, mag) = (k..n)
@@ -91,11 +94,12 @@ pub fn determinant(a: &CMat) -> c64 {
         }
         det *= w[k][k];
         let inv = w[k][k].inv();
-        for r in (k + 1)..n {
-            let f = w[r][k] * inv;
-            for c in k..n {
-                let v = w[k][c];
-                w[r][c] -= f * v;
+        let (pivot_rows, rest) = w.split_at_mut(k + 1);
+        let wk = &pivot_rows[k];
+        for wr in rest.iter_mut() {
+            let f = wr[k] * inv;
+            for (dst, &src) in wr[k..].iter_mut().zip(&wk[k..]) {
+                *dst -= f * src;
             }
         }
     }

@@ -151,13 +151,31 @@ impl CMat {
         }
     }
 
+    /// Reshapes in place to `rows × cols` of zeros, reusing the existing
+    /// allocation when it is large enough. This is the hook the pipeline's
+    /// scratch buffers use to avoid per-packet heap churn.
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, c64::ZERO);
+    }
+
     /// `A·Aᴴ` — the (unnormalized) covariance of the columns. This is the
     /// matrix MUSIC eigendecomposes; computing it directly halves the work
     /// versus `a.mul(&a.hermitian())` and guarantees an exactly Hermitian
     /// result.
     pub fn mul_hermitian_self(&self) -> CMat {
+        let mut out = CMat::zeros(self.rows, self.rows);
+        self.mul_hermitian_self_into(&mut out);
+        out
+    }
+
+    /// [`mul_hermitian_self`](Self::mul_hermitian_self) writing into a
+    /// caller-owned buffer (resized as needed).
+    pub fn mul_hermitian_self_into(&self, out: &mut CMat) {
         let n = self.rows;
-        let mut out = CMat::zeros(n, n);
+        out.reset_zeros(n, n);
         for c in 0..self.cols {
             let col = self.col(c);
             for j in 0..n {
@@ -175,7 +193,6 @@ impl CMat {
                 out[(j, i)] = out[(i, j)].conj();
             }
         }
-        out
     }
 
     /// Matrix product `self · rhs`.
@@ -192,14 +209,13 @@ impl CMat {
         for c in 0..rhs.cols {
             let rcol = rhs.col(c);
             let ocol = c * self.rows;
-            for k in 0..self.cols {
-                let f = rcol[k];
+            for (k, &f) in rcol.iter().enumerate() {
                 if f == c64::ZERO {
                     continue;
                 }
                 let scol = &self.data[k * self.rows..(k + 1) * self.rows];
-                for r in 0..self.rows {
-                    out.data[ocol + r] += scol[r] * f;
+                for (dst, &s) in out.data[ocol..ocol + self.rows].iter_mut().zip(scol) {
+                    *dst += s * f;
                 }
             }
         }
@@ -210,11 +226,10 @@ impl CMat {
     pub fn mul_vec(&self, v: &[c64]) -> Vec<c64> {
         assert_eq!(self.cols, v.len(), "matrix–vector dimension mismatch");
         let mut out = vec![c64::ZERO; self.rows];
-        for k in 0..self.cols {
-            let f = v[k];
+        for (k, &f) in v.iter().enumerate() {
             let scol = self.col(k);
-            for r in 0..self.rows {
-                out[r] += scol[r] * f;
+            for (dst, &s) in out.iter_mut().zip(scol) {
+                *dst += s * f;
             }
         }
         out
@@ -225,10 +240,7 @@ impl CMat {
     /// for Hermitian `self`) complex value.
     pub fn quadratic_form(&self, v: &[c64]) -> c64 {
         let av = self.mul_vec(v);
-        v.iter()
-            .zip(av.iter())
-            .map(|(x, y)| x.conj() * *y)
-            .sum()
+        v.iter().zip(av.iter()).map(|(x, y)| x.conj() * *y).sum()
     }
 
     /// Frobenius norm.
@@ -348,10 +360,7 @@ mod tests {
     use super::*;
 
     fn m2(a: f64, b: f64, c: f64, d: f64) -> CMat {
-        CMat::from_rows(&[
-            &[c64::real(a), c64::real(b)],
-            &[c64::real(c), c64::real(d)],
-        ])
+        CMat::from_rows(&[&[c64::real(a), c64::real(b)], &[c64::real(c), c64::real(d)]])
     }
 
     #[test]
@@ -444,6 +453,24 @@ mod tests {
         assert_eq!(a.col(1)[0].re, 3.0);
         assert_eq!(a.col(1)[2].re, 5.0);
         assert_eq!(a.row(1), vec![c64::real(1.0), c64::real(4.0)]);
+    }
+
+    #[test]
+    fn reset_zeros_reuses_and_clears() {
+        let mut m = CMat::from_fn(4, 4, |r, c| c64::real((r + c) as f64 + 1.0));
+        m.reset_zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|z| *z == c64::ZERO));
+    }
+
+    #[test]
+    fn mul_hermitian_self_into_overwrites_stale_buffer() {
+        let x = CMat::from_fn(3, 5, |r, c| c64::new(r as f64 - 1.0, c as f64 * 0.5));
+        // A dirty, wrongly-shaped scratch buffer must not leak into the
+        // result.
+        let mut out = CMat::from_fn(7, 2, |_, _| c64::new(9.0, -9.0));
+        x.mul_hermitian_self_into(&mut out);
+        assert_eq!(out, x.mul_hermitian_self());
     }
 
     #[test]

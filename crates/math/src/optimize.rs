@@ -52,11 +52,7 @@ pub fn nelder_mead_2d(
     max_iter: usize,
     tol: f64,
 ) -> ([f64; 2], f64) {
-    let mut pts = [
-        x0,
-        [x0[0] + scale, x0[1]],
-        [x0[0], x0[1] + scale],
-    ];
+    let mut pts = [x0, [x0[0] + scale, x0[1]], [x0[0], x0[1] + scale]];
     let mut vals = [f(pts[0]), f(pts[1]), f(pts[2])];
 
     for _ in 0..max_iter {
@@ -69,10 +65,7 @@ pub fn nelder_mead_2d(
             break;
         }
 
-        let centroid = [
-            0.5 * (pts[b][0] + pts[m][0]),
-            0.5 * (pts[b][1] + pts[m][1]),
-        ];
+        let centroid = [0.5 * (pts[b][0] + pts[m][0]), 0.5 * (pts[b][1] + pts[m][1])];
         let reflect = [
             centroid[0] + (centroid[0] - pts[w][0]),
             centroid[1] + (centroid[1] - pts[w][1]),

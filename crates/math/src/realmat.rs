@@ -156,13 +156,15 @@ impl RMat {
                 return None;
             }
             a.swap(k, piv);
-            for r in (k + 1)..n {
-                let f = a[r][k] / a[k][k];
+            let (pivot_rows, rest) = a.split_at_mut(k + 1);
+            let ak = &pivot_rows[k];
+            for ar in rest.iter_mut() {
+                let f = ar[k] / ak[k];
                 if f == 0.0 {
                     continue;
                 }
-                for c in k..=n {
-                    a[r][c] -= f * a[k][c];
+                for (dst, &src) in ar[k..=n].iter_mut().zip(&ak[k..=n]) {
+                    *dst -= f * src;
                 }
             }
         }
@@ -287,7 +289,11 @@ mod tests {
         let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
         let noise = [0.1, -0.1, 0.0, -0.1, 0.1];
         let a = RMat::from_fn(5, 2, |r, c| if c == 0 { xs[r] } else { 1.0 });
-        let b: Vec<f64> = xs.iter().zip(noise).map(|(x, n)| 2.0 * x + 1.0 + n).collect();
+        let b: Vec<f64> = xs
+            .iter()
+            .zip(noise)
+            .map(|(x, n)| 2.0 * x + 1.0 + n)
+            .collect();
         let sol = lstsq(&a, &b).unwrap();
         assert!((sol[0] - 2.0).abs() < 0.05, "slope {}", sol[0]);
         assert!((sol[1] - 1.0).abs() < 0.1, "intercept {}", sol[1]);

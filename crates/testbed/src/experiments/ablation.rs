@@ -12,8 +12,7 @@
 //!   weighting off, single-cluster (k=1) clustering, and ToF estimation
 //!   disabled in the likelihood (AoA-only scores).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use spotfi_channel::Rng;
 
 use spotfi_baselines::music_aoa::{music_aoa_spectrum, MusicAoaConfig, MusicAoaSpectrum};
 use spotfi_channel::{PacketTrace, TraceConfig};
@@ -89,7 +88,7 @@ pub fn run_channel_ablation(opts: &ExperimentOptions) -> ChannelAblation {
                     {
                         continue;
                     }
-                    let mut rng = StdRng::seed_from_u64(scenario.link_seed(t_idx, ap_idx));
+                    let mut rng = Rng::seed_from_u64(scenario.link_seed(t_idx, ap_idx));
                     let Some(trace) = PacketTrace::generate(
                         &scenario.floorplan,
                         t.position,
@@ -140,7 +139,12 @@ fn averaged_peaks(trace: &PacketTrace, cfg: &MusicAoaConfig) -> Vec<f64> {
         let Ok(spec) = music_aoa_spectrum(&p.csi, cfg) else {
             continue;
         };
-        let max = spec.values.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+        let max = spec
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            .max(1e-12);
         match &mut sum {
             None => sum = Some(spec.values.iter().map(|v| v / max).collect()),
             Some(s) => {
@@ -240,7 +244,8 @@ pub fn run_algorithm_ablation(opts: &ExperimentOptions) -> AlgorithmAblation {
 
 /// Renders the channel ablation as a table.
 pub fn render_channel(a: &ChannelAblation) -> String {
-    let mut out = String::from("── Ablation: channel effects on AoA estimation (LoS office links) ──\n");
+    let mut out =
+        String::from("── Ablation: channel effects on AoA estimation (LoS office links) ──\n");
     out.push_str(&format!(
         "{:<30} {:>14} {:>14}\n",
         "variant", "SpotFi med(°)", "MUSIC med(°)"
@@ -249,8 +254,16 @@ pub fn render_channel(a: &ChannelAblation) -> String {
         out.push_str(&format!(
             "{:<30} {:>14.2} {:>14.2}\n",
             r.variant,
-            if r.spotfi.is_empty() { f64::NAN } else { r.spotfi.median() },
-            if r.music_aoa.is_empty() { f64::NAN } else { r.music_aoa.median() },
+            if r.spotfi.is_empty() {
+                f64::NAN
+            } else {
+                r.spotfi.median()
+            },
+            if r.music_aoa.is_empty() {
+                f64::NAN
+            } else {
+                r.music_aoa.median()
+            },
         ));
     }
     out
@@ -259,7 +272,10 @@ pub fn render_channel(a: &ChannelAblation) -> String {
 /// Renders the algorithm ablation as a table.
 pub fn render_algorithm(a: &AlgorithmAblation) -> String {
     let mut out = String::from("── Ablation: SpotFi pipeline pieces (office localization) ──\n");
-    out.push_str(&format!("{:<38} {:>8} {:>8}\n", "variant", "med(m)", "p80(m)"));
+    out.push_str(&format!(
+        "{:<38} {:>8} {:>8}\n",
+        "variant", "med(m)", "p80(m)"
+    ));
     for r in &a.rows {
         if r.errors.is_empty() {
             out.push_str(&format!("{:<38} {:>8}\n", r.variant, "(none)"));

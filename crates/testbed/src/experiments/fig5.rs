@@ -7,8 +7,7 @@
 //! * **5(c)** — (AoA, ToF) estimates from 170 packets cluster per path; the
 //!   direct path's cluster is the tightest and SpotFi's likelihood picks it.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use spotfi_channel::Rng;
 
 use spotfi_channel::{PacketTrace, Point};
 use spotfi_core::cluster::cluster_estimates;
@@ -82,7 +81,7 @@ pub fn run(opts: &ExperimentOptions) -> Fig5Result {
         None => FIG5C_PACKETS,
     };
 
-    let mut rng = StdRng::seed_from_u64(0xF160_05);
+    let mut rng = Rng::seed_from_u64(0xF1_6005);
     let trace = PacketTrace::generate(
         &scenario.floorplan,
         target,
@@ -186,7 +185,11 @@ pub fn render(r: &Fig5Result) -> String {
     for n in 0..r.phase.raw[0].len() {
         out.push_str(&format!(
             "{},{:.4},{:.4},{:.4},{:.4}\n",
-            n, r.phase.raw[0][n], r.phase.raw[1][n], r.phase.sanitized[0][n], r.phase.sanitized[1][n]
+            n,
+            r.phase.raw[0][n],
+            r.phase.raw[1][n],
+            r.phase.sanitized[0][n],
+            r.phase.sanitized[1][n]
         ));
     }
 
@@ -197,7 +200,11 @@ pub fn render(r: &Fig5Result) -> String {
     ));
     out.push_str("cluster,mean_aoa_deg,aoa_std_norm,tof_std_norm,likelihood\n");
     for (ci, (aoa, sa, st, lik)) in r.clusters.cluster_stats.iter().enumerate() {
-        let mark = if ci == r.clusters.direct_cluster { " <- direct" } else { "" };
+        let mark = if ci == r.clusters.direct_cluster {
+            " <- direct"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "{},{:.2},{:.3},{:.3},{:.4}{}\n",
             ci, aoa, sa, st, lik, mark

@@ -66,7 +66,10 @@ pub fn run(panel: Panel, opts: &ExperimentOptions) -> Fig7Result {
     let records = runner.run_localization();
 
     let spotfi: Vec<f64> = records.iter().filter_map(|r| r.spotfi_error_m).collect();
-    let arraytrack: Vec<f64> = records.iter().filter_map(|r| r.arraytrack_error_m).collect();
+    let arraytrack: Vec<f64> = records
+        .iter()
+        .filter_map(|r| r.arraytrack_error_m)
+        .collect();
     Fig7Result {
         panel,
         spotfi_failures: records.len() - spotfi.len(),

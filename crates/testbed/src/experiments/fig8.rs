@@ -51,8 +51,8 @@ pub fn run(opts: &ExperimentOptions) -> Fig8Result {
     let pick = |f: &dyn Fn(&LinkRecord) -> Option<f64>, los: Option<bool>| -> Vec<f64> {
         links
             .iter()
-            .filter(|l| los.map_or(true, |v| l.is_los == v))
-            .filter_map(|l| f(l))
+            .filter(|l| los.is_none_or(|v| l.is_los == v))
+            .filter_map(f)
             .collect()
     };
 

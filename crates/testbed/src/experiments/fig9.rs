@@ -117,7 +117,10 @@ pub fn run_packets(opts: &ExperimentOptions) -> Fig9bResult {
                 .into_iter()
                 .filter_map(|r| r.spotfi_error_m)
                 .collect();
-            (packets, FigureSeries::new(format!("{} packets", packets), errors))
+            (
+                packets,
+                FigureSeries::new(format!("{} packets", packets), errors),
+            )
         })
         .collect();
     Fig9bResult { series }

@@ -17,7 +17,7 @@ use crate::runner::RunnerConfig;
 
 /// Shared experiment knobs: full fidelity for the benches/examples, trimmed
 /// for tests.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ExperimentOptions {
     /// Estimator/baseline configuration.
     pub runner: RunnerConfig,
@@ -25,16 +25,6 @@ pub struct ExperimentOptions {
     pub max_targets: Option<usize>,
     /// Override packets per fix (`None` = scenario default).
     pub packets_override: Option<usize>,
-}
-
-impl Default for ExperimentOptions {
-    fn default() -> Self {
-        ExperimentOptions {
-            runner: RunnerConfig::default(),
-            max_targets: None,
-            packets_override: None,
-        }
-    }
 }
 
 impl ExperimentOptions {

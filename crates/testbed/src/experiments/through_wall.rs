@@ -6,8 +6,7 @@
 //! quantifying how SpotFi's accuracy and the room-identification rate decay
 //! as the direct path is buried under more concrete.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use spotfi_channel::Rng;
 
 use spotfi_channel::PacketTrace;
 use spotfi_core::{ApPackets, SpotFi};
@@ -82,7 +81,7 @@ pub fn run(opts: &ExperimentOptions) -> ThroughWallResult {
                     .expect("target in scenario");
                 let mut packs = Vec::new();
                 for (ap_idx, ap) in base.aps.iter().enumerate() {
-                    let mut rng = StdRng::seed_from_u64(base.link_seed(t_idx, ap_idx));
+                    let mut rng = Rng::seed_from_u64(base.link_seed(t_idx, ap_idx));
                     if let Some(trace) = PacketTrace::generate(
                         &base.floorplan,
                         t.position,
@@ -122,15 +121,17 @@ pub fn run(opts: &ExperimentOptions) -> ThroughWallResult {
 
 /// Renders the sweep as a table.
 pub fn render(r: &ThroughWallResult) -> String {
-    let mut out =
-        String::from("── Extension: through-wall accuracy (apartment, 4 APs) ──\n");
+    let mut out = String::from("── Extension: through-wall accuracy (apartment, 4 APs) ──\n");
     out.push_str(&format!(
         "{:<8} {:>6} {:>8} {:>8} {:>10}\n",
         "room", "walls", "med(m)", "p80(m)", "room-acc"
     ));
     for row in &r.rooms {
         if row.errors.is_empty() {
-            out.push_str(&format!("{:<8} {:>6} {:>8}\n", row.room, row.wall_depth, "(none)"));
+            out.push_str(&format!(
+                "{:<8} {:>6} {:>8}\n",
+                row.room, row.wall_depth, "(none)"
+            ));
         } else {
             out.push_str(&format!(
                 "{:<8} {:>6} {:>8.2} {:>8.2} {:>9.0}%\n",

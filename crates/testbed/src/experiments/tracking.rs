@@ -5,8 +5,7 @@
 //! errors against the constant-velocity Kalman tracker
 //! ([`spotfi_core::tracking`]) with innovation gating.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use spotfi_channel::Rng;
 
 use spotfi_channel::{PacketTrace, Point};
 use spotfi_core::tracking::{Tracker, TrackerConfig};
@@ -80,7 +79,7 @@ pub fn run(opts: &ExperimentOptions) -> TrackingResult {
     let mut tracked = Vec::new();
     let mut gated = 0usize;
     let mut lost = 0usize;
-    let mut rng = StdRng::seed_from_u64(0x7AC4);
+    let mut rng = Rng::seed_from_u64(0x7AC4);
 
     for (step, pos) in route(steps).into_iter().enumerate() {
         let t_s = step as f64 * 2.0;
@@ -139,7 +138,10 @@ pub fn render(r: &TrackingResult) -> String {
             ));
         }
     }
-    out.push_str(&format!("gated fixes: {}, lost waypoints: {}\n", r.gated, r.lost));
+    out.push_str(&format!(
+        "gated fixes: {}, lost waypoints: {}\n",
+        r.gated, r.lost
+    ));
     out
 }
 
@@ -152,7 +154,11 @@ mod tests {
         let pts = route(40);
         assert_eq!(pts.len(), 40);
         for w in pts.windows(2) {
-            assert!(w[0].distance(w[1]) < 3.0, "route jump {}", w[0].distance(w[1]));
+            assert!(
+                w[0].distance(w[1]) < 3.0,
+                "route jump {}",
+                w[0].distance(w[1])
+            );
         }
         for p in &pts {
             assert!((2.0..=18.0).contains(&p.x) && (9.0..=19.0).contains(&p.y));

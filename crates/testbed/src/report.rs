@@ -80,12 +80,14 @@ pub fn render_figure(title: &str, unit: &str, series: &[FigureSeries], points: u
         out.push_str(&format!(",{}", s.label.replace(',', ";")));
     }
     out.push('\n');
-    let fractions: Vec<f64> = (0..points).map(|i| i as f64 / (points - 1) as f64).collect();
+    let fractions: Vec<f64> = (0..points)
+        .map(|i| i as f64 / (points - 1) as f64)
+        .collect();
     for &q in &fractions {
         out.push_str(&format!("{:.3}", q));
         for s in series {
             if s.is_empty() {
-                out.push_str(",");
+                out.push(',');
             } else {
                 out.push_str(&format!(",{:.3}", s.ecdf().quantile(q)));
             }
@@ -133,13 +135,18 @@ mod tests {
         assert!(r.contains("ArrayTrack"));
         assert!(r.contains("cdf_fraction,SpotFi,ArrayTrack"));
         // 11 CSV rows + headers.
-        assert_eq!(r.lines().filter(|l| l.starts_with("0.") || l.starts_with("1.")).count(), 11);
+        assert_eq!(
+            r.lines()
+                .filter(|l| l.starts_with("0.") || l.starts_with("1."))
+                .count(),
+            11
+        );
     }
 
     #[test]
     fn empty_series_renders_gracefully() {
         let s = FigureSeries::new("empty", Vec::<f64>::new());
-        let r = render_figure("t", "m", &[s.clone()], 5);
+        let r = render_figure("t", "m", std::slice::from_ref(&s), 5);
         assert!(r.contains("(empty)"));
         assert!(summary_line(&s, "m").contains("no samples"));
     }
@@ -167,8 +174,16 @@ pub fn ascii_heatmap(
     let out_h = rows.min(max_height).max(1);
     let out_w = cols.min(max_width).max(1);
 
-    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-300);
-    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(lo * 1.0000001);
+    let lo = values
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-300);
+    let hi = values
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(lo * 1.0000001);
     let (llo, lhi) = (lo.ln(), hi.ln());
 
     let mut out = String::with_capacity((out_w + 1) * out_h);

@@ -17,8 +17,7 @@
 
 use std::sync::Mutex;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use spotfi_channel::Rng;
 
 use spotfi_baselines::arraytrack::{arraytrack_localize_in_bounds, ArrayTrackConfig};
 use spotfi_baselines::music_aoa::{music_aoa_spectrum, MusicAoaConfig};
@@ -57,8 +56,10 @@ impl Default for RunnerConfig {
 impl RunnerConfig {
     /// Coarser grids for unit tests.
     pub fn fast_test() -> Self {
-        let mut c = RunnerConfig::default();
-        c.spotfi = SpotFiConfig::fast_test();
+        let mut c = RunnerConfig {
+            spotfi: SpotFiConfig::fast_test(),
+            ..RunnerConfig::default()
+        };
         c.arraytrack.music.aoa_grid_deg = spotfi_core::GridSpec::new(-90.0, 90.0, 2.0);
         c.arraytrack.grid_step_m = 0.5;
         c
@@ -124,7 +125,7 @@ pub fn audible_traces(
     let target = &scenario.targets[target_idx];
     let mut out = Vec::new();
     for (ap_idx, ap) in scenario.aps.iter().enumerate() {
-        let mut rng = StdRng::seed_from_u64(scenario.link_seed(target_idx, ap_idx));
+        let mut rng = Rng::seed_from_u64(scenario.link_seed(target_idx, ap_idx));
         let Some(trace) = PacketTrace::generate(
             &scenario.floorplan,
             target.position,
@@ -135,8 +136,8 @@ pub fn audible_traces(
         ) else {
             continue;
         };
-        let mean_rssi = trace.packets.iter().map(|p| p.rssi_dbm).sum::<f64>()
-            / trace.packets.len() as f64;
+        let mean_rssi =
+            trace.packets.iter().map(|p| p.rssi_dbm).sum::<f64>() / trace.packets.len() as f64;
         if mean_rssi < cfg.min_rssi_dbm {
             continue;
         }
@@ -167,10 +168,8 @@ impl Runner {
     /// outline — a fix outside the building is physically impossible, and
     /// both systems get the same constraint.
     fn search_bounds(&self, aps: &[spotfi_core::ApMeasurement]) -> spotfi_core::SearchBounds {
-        let mut b = spotfi_core::SearchBounds::around_aps(
-            aps,
-            self.config.spotfi.localize.search_margin_m,
-        );
+        let mut b =
+            spotfi_core::SearchBounds::around_aps(aps, self.config.spotfi.localize.search_margin_m);
         if let Some((min, max)) = self.scenario.floorplan.bounding_box() {
             b.min_x = b.min_x.max(min.x);
             b.max_x = b.max_x.min(max.x);
@@ -341,7 +340,12 @@ fn averaged_music_aoa_peaks(packets: &[CsiPacket], cfg: &MusicAoaConfig) -> Vec<
         let Ok(spec) = music_aoa_spectrum(&p.csi, cfg) else {
             continue;
         };
-        let max = spec.values.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+        let max = spec
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            .max(1e-12);
         match &mut sum {
             None => sum = Some(spec.values.iter().map(|v| v / max).collect()),
             Some(s) => {
@@ -358,7 +362,10 @@ fn averaged_music_aoa_peaks(packets: &[CsiPacket], cfg: &MusicAoaConfig) -> Vec<
         aoa_grid_deg: cfg.aoa_grid_deg,
         values,
     };
-    spec.peaks(cfg.max_paths).into_iter().map(|(aoa, _)| aoa).collect()
+    spec.peaks(cfg.max_paths)
+        .into_iter()
+        .map(|(aoa, _)| aoa)
+        .collect()
 }
 
 #[cfg(test)]

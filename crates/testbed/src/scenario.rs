@@ -87,7 +87,11 @@ mod tests {
     #[test]
     fn scenarios_are_well_formed() {
         let d = Deployment::standard();
-        for s in [Scenario::office(&d), Scenario::nlos(&d), Scenario::corridor(&d)] {
+        for s in [
+            Scenario::office(&d),
+            Scenario::nlos(&d),
+            Scenario::corridor(&d),
+        ] {
             assert!(s.aps.len() >= 3, "{}: too few APs", s.name);
             assert!(!s.targets.is_empty(), "{}: no targets", s.name);
             assert!(s.packets_per_fix >= 1);
@@ -101,7 +105,12 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for t in 0..30 {
             for a in 0..8 {
-                assert!(seen.insert(s.link_seed(t, a)), "seed collision at ({}, {})", t, a);
+                assert!(
+                    seen.insert(s.link_seed(t, a)),
+                    "seed collision at ({}, {})",
+                    t,
+                    a
+                );
             }
         }
     }

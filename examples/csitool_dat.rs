@@ -12,11 +12,10 @@
 //! With an argument, it skips the export step and analyzes your capture
 //! (assuming an AP at the origin facing +y; adjust for real deployments).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use spotfi::core::{ApPackets, SpotFi, SpotFiConfig};
 use spotfi::io::{from_csi_packet, read_dat_file, to_csi_packets, write_dat_file};
 use spotfi::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+use spotfi_channel::Rng;
 
 fn main() {
     let array = AntennaArray::intel5300(
@@ -32,7 +31,7 @@ fn main() {
             let path = std::env::temp_dir().join("spotfi_example_capture.dat");
             let plan = Floorplan::empty();
             let target = Point::new(-3.0, 6.0);
-            let mut rng = StdRng::seed_from_u64(2015);
+            let mut rng = Rng::seed_from_u64(2015);
             let trace = PacketTrace::generate(
                 &plan,
                 target,
@@ -76,10 +75,7 @@ fn main() {
 
     let packets = to_csi_packets(&records);
     let spotfi = SpotFi::new(SpotFiConfig::default());
-    match spotfi.analyze_ap(&ApPackets {
-        array,
-        packets,
-    }) {
+    match spotfi.analyze_ap(&ApPackets { array, packets }) {
         Ok(analysis) => {
             println!("\npath clusters (AoA°, rel ToF ns, members):");
             for c in &analysis.clustering.clusters {

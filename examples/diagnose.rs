@@ -6,12 +6,11 @@
 //! cargo run --release --example diagnose [n_targets]
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use spotfi::core::{ApPackets, SpotFi, SpotFiConfig};
 use spotfi::testbed::deployment::Deployment;
 use spotfi::testbed::scenario::Scenario;
 use spotfi::PacketTrace;
+use spotfi_channel::Rng;
 
 fn main() {
     let n_targets: usize = std::env::args()
@@ -24,10 +23,13 @@ fn main() {
     let spotfi = SpotFi::new(SpotFiConfig::default());
 
     for (t_idx, target) in scenario.targets.iter().take(n_targets).enumerate() {
-        println!("── {} at ({:.1}, {:.1}) ──", target.name, target.position.x, target.position.y);
+        println!(
+            "── {} at ({:.1}, {:.1}) ──",
+            target.name, target.position.x, target.position.y
+        );
         let mut ap_packets = Vec::new();
         for (ap_idx, ap) in scenario.aps.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(scenario.link_seed(t_idx, ap_idx));
+            let mut rng = Rng::seed_from_u64(scenario.link_seed(t_idx, ap_idx));
             let Some(trace) = PacketTrace::generate(
                 &scenario.floorplan,
                 target.position,
@@ -39,14 +41,18 @@ fn main() {
                 println!("  {}: inaudible", ap.name);
                 continue;
             };
-            let mean_rssi = trace.packets.iter().map(|p| p.rssi_dbm).sum::<f64>()
-                / trace.packets.len() as f64;
+            let mean_rssi =
+                trace.packets.iter().map(|p| p.rssi_dbm).sum::<f64>() / trace.packets.len() as f64;
             let truth_aoa = ap.array.aoa_from_deg(target.position);
             let los = scenario
                 .floorplan
                 .line_of_sight(target.position, ap.array.position);
             let gt_direct = trace.direct_path().map(|p| {
-                (p.aoa_deg(), p.tof_ns(), p.amplitude / trace.ground_truth_paths[0].amplitude)
+                (
+                    p.aoa_deg(),
+                    p.tof_ns(),
+                    p.amplitude / trace.ground_truth_paths[0].amplitude,
+                )
             });
 
             let packets = ApPackets {

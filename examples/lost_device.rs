@@ -11,11 +11,10 @@
 //! cargo run --release --example lost_device
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use spotfi::channel::materials::Material;
 use spotfi::core::{ApPackets, SpotFi, SpotFiConfig};
 use spotfi::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+use spotfi_channel::Rng;
 
 fn main() {
     // An apartment: 14 m × 8 m concrete shell, three rooms divided by
@@ -23,11 +22,27 @@ fn main() {
     let mut plan = Floorplan::empty();
     plan.add_rect(0.0, 0.0, 14.0, 8.0, Material::CONCRETE);
     // Wall between room 1 and room 2, door at y ∈ [3.0, 4.0].
-    plan.add_wall(Point::new(5.0, 0.0), Point::new(5.0, 3.0), Material::CONCRETE);
-    plan.add_wall(Point::new(5.0, 4.0), Point::new(5.0, 8.0), Material::CONCRETE);
+    plan.add_wall(
+        Point::new(5.0, 0.0),
+        Point::new(5.0, 3.0),
+        Material::CONCRETE,
+    );
+    plan.add_wall(
+        Point::new(5.0, 4.0),
+        Point::new(5.0, 8.0),
+        Material::CONCRETE,
+    );
     // Wall between room 2 and room 3, door at y ∈ [5.0, 6.0].
-    plan.add_wall(Point::new(10.0, 0.0), Point::new(10.0, 5.0), Material::CONCRETE);
-    plan.add_wall(Point::new(10.0, 6.0), Point::new(10.0, 8.0), Material::CONCRETE);
+    plan.add_wall(
+        Point::new(10.0, 0.0),
+        Point::new(10.0, 5.0),
+        Material::CONCRETE,
+    );
+    plan.add_wall(
+        Point::new(10.0, 6.0),
+        Point::new(10.0, 8.0),
+        Material::CONCRETE,
+    );
     // Fridge in room 2.
     plan.add_wall(Point::new(8.5, 0.2), Point::new(9.5, 0.2), Material::METAL);
 
@@ -44,7 +59,7 @@ fn main() {
         (11.0, 0.5, Point::new(12.0, 4.0)), // room 3 — LoS
     ];
 
-    let mut rng = StdRng::seed_from_u64(1207);
+    let mut rng = Rng::seed_from_u64(1207);
     let mut aps = Vec::new();
     for &(x, y, look) in &ap_spots {
         let normal = (look - Point::new(x, y)).angle();
@@ -97,5 +112,9 @@ fn main() {
         "room 1"
     };
     println!("→ look in {}", room);
-    assert!(err < 3.0, "NLoS fix should stay room-accurate, got {:.2} m", err);
+    assert!(
+        err < 3.0,
+        "NLoS fix should stay room-accurate, got {:.2} m",
+        err
+    );
 }

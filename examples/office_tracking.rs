@@ -10,12 +10,11 @@
 //! cargo run --release --example office_tracking
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use spotfi::core::tracking::{Tracker, TrackerConfig};
 use spotfi::core::{ApPackets, SpotFi, SpotFiConfig};
 use spotfi::testbed::deployment::Deployment;
 use spotfi::{PacketTrace, Point, TraceConfig};
+use spotfi_channel::Rng;
 
 fn main() {
     let deployment = Deployment::standard();
@@ -43,7 +42,7 @@ fn main() {
         gate_sigma: 5.0,
         ..TrackerConfig::default()
     });
-    let mut rng = StdRng::seed_from_u64(777);
+    let mut rng = Rng::seed_from_u64(777);
     let mut fixes = Vec::new();
     println!(
         "{:>4}  {:>14}  {:>14}  {:>14}  {:>7}  {:>7}",
@@ -101,7 +100,10 @@ fn main() {
     let to_cell = |p: Point| {
         let cx = ((p.x - 2.0) / 16.0 * (w as f64 - 1.0)).round() as isize;
         let cy = ((19.0 - p.y) / 10.0 * (h as f64 - 1.0)).round() as isize;
-        (cx.clamp(0, w as isize - 1) as usize, cy.clamp(0, h as isize - 1) as usize)
+        (
+            cx.clamp(0, w as isize - 1) as usize,
+            cy.clamp(0, h as isize - 1) as usize,
+        )
     };
     let mut grid = vec![vec![b'.'; w]; h];
     for ap in &deployment.office_aps {
@@ -125,6 +127,10 @@ fn main() {
 
     let mean_err: f64 =
         fixes.iter().map(|(t, f)| t.distance(*f)).sum::<f64>() / fixes.len().max(1) as f64;
-    println!("\nmean tracking error: {:.2} m over {} fixes", mean_err, fixes.len());
+    println!(
+        "\nmean tracking error: {:.2} m over {} fixes",
+        mean_err,
+        fixes.len()
+    );
     assert!(!fixes.is_empty());
 }

@@ -5,16 +5,21 @@
 //! cargo run --release --example probe_link [target_idx] [ap_idx]
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use spotfi::core::{SpotFi, SpotFiConfig};
 use spotfi::testbed::deployment::Deployment;
 use spotfi::testbed::scenario::Scenario;
 use spotfi::PacketTrace;
+use spotfi_channel::Rng;
 
 fn main() {
-    let t_idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let ap_idx: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let t_idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let ap_idx: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
 
     let deployment = Deployment::standard();
     let scenario = Scenario::office(&deployment);
@@ -27,7 +32,7 @@ fn main() {
         ap.array.aoa_from_deg(target.position)
     );
 
-    let mut rng = StdRng::seed_from_u64(scenario.link_seed(t_idx, ap_idx));
+    let mut rng = Rng::seed_from_u64(scenario.link_seed(t_idx, ap_idx));
     let trace = PacketTrace::generate(
         &scenario.floorplan,
         target.position,

@@ -9,7 +9,9 @@
 //! the full deployment (all targets, 10 packets per fix) and takes a few
 //! minutes.
 
-use spotfi::testbed::experiments::{ablation, fig5, fig7, fig8, fig9, through_wall, tracking, ExperimentOptions};
+use spotfi::testbed::experiments::{
+    ablation, fig5, fig7, fig8, fig9, through_wall, tracking, ExperimentOptions,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +35,11 @@ fn main() {
         println!("{}", fig5::render(&fig5::run(&opts)));
     }
     if which == "fig7" || which == "all" {
-        for panel in [fig7::Panel::Office, fig7::Panel::Nlos, fig7::Panel::Corridor] {
+        for panel in [
+            fig7::Panel::Office,
+            fig7::Panel::Nlos,
+            fig7::Panel::Corridor,
+        ] {
             println!("{}", fig7::render(&fig7::run(panel, &opts)));
         }
     }
@@ -45,8 +51,14 @@ fn main() {
         println!("{}", fig9::render_packets(&fig9::run_packets(&opts)));
     }
     if which == "ablation" || which == "all" {
-        println!("{}", ablation::render_channel(&ablation::run_channel_ablation(&opts)));
-        println!("{}", ablation::render_algorithm(&ablation::run_algorithm_ablation(&opts)));
+        println!(
+            "{}",
+            ablation::render_channel(&ablation::run_channel_ablation(&opts))
+        );
+        println!(
+            "{}",
+            ablation::render_algorithm(&ablation::run_algorithm_ablation(&opts))
+        );
     }
     if which == "through-wall" || which == "all" {
         println!("{}", through_wall::render(&through_wall::run(&opts)));

@@ -6,12 +6,11 @@
 //! cargo run --release --example spectrum [target_x target_y]
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use spotfi::channel::materials::Material;
 use spotfi::core::{find_peaks_filtered, music_spectrum, sanitize_csi, smoothed_csi, SpotFiConfig};
 use spotfi::testbed::report::ascii_heatmap;
 use spotfi::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
-use spotfi::channel::materials::Material;
+use spotfi_channel::Rng;
 
 fn main() {
     let args: Vec<f64> = std::env::args()
@@ -27,7 +26,11 @@ fn main() {
     // A reflective room so the spectrum shows several ridges.
     let mut plan = Floorplan::empty();
     plan.add_rect(-8.0, 0.0, 8.0, 12.0, Material::CONCRETE);
-    plan.add_wall(Point::new(-3.0, 8.0), Point::new(-1.0, 8.0), Material::METAL);
+    plan.add_wall(
+        Point::new(-3.0, 8.0),
+        Point::new(-1.0, 8.0),
+        Material::METAL,
+    );
 
     let array = AntennaArray::intel5300(
         Point::new(0.0, 0.5),
@@ -35,9 +38,16 @@ fn main() {
         spotfi::channel::constants::DEFAULT_CARRIER_HZ,
     );
 
-    let mut rng = StdRng::seed_from_u64(11);
-    let trace = PacketTrace::generate(&plan, target, &array, &TraceConfig::commodity(), 1, &mut rng)
-        .expect("audible");
+    let mut rng = Rng::seed_from_u64(11);
+    let trace = PacketTrace::generate(
+        &plan,
+        target,
+        &array,
+        &TraceConfig::commodity(),
+        1,
+        &mut rng,
+    )
+    .expect("audible");
 
     println!("ground-truth paths (AoA°, ToF ns, rel. amplitude):");
     let a0 = trace.ground_truth_paths[0].amplitude;
@@ -73,7 +83,11 @@ fn main() {
     print!("{}", ascii_heatmap(&values, na, nt, 100, 36));
 
     println!("\nextracted peaks (AoA°, ToF ns, power):");
-    for p in find_peaks_filtered(&spec, cfg.music.max_paths, cfg.music.min_relative_peak_power) {
+    for p in find_peaks_filtered(
+        &spec,
+        cfg.music.max_paths,
+        cfg.music.min_relative_peak_power,
+    ) {
         println!("  {:>6.1}  {:>6.1}  {:>10.1}", p.aoa_deg, p.tof_ns, p.power);
     }
     println!(

@@ -26,14 +26,13 @@
 //! ## Quickstart
 //!
 //! ```
-//! use rand::SeedableRng;
-//! use spotfi::channel::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+//! use spotfi::channel::{AntennaArray, Floorplan, PacketTrace, Point, Rng, TraceConfig};
 //! use spotfi::core::{ApPackets, SpotFi, SpotFiConfig};
 //!
 //! let plan = Floorplan::empty();
 //! let target = Point::new(4.0, 6.0);
 //! let cfg = TraceConfig::commodity();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = Rng::seed_from_u64(7);
 //!
 //! // Four APs at the room corners, each looking at the center.
 //! let aps: Vec<ApPackets> = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]

@@ -1,11 +1,10 @@
 //! End-to-end integration tests: simulator → SpotFi pipeline → location,
 //! at full estimator fidelity (default grids).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use spotfi::channel::materials::Material;
 use spotfi::core::{ApPackets, SpotFi, SpotFiConfig};
 use spotfi::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+use spotfi_channel::Rng;
 
 fn ap_at(x: f64, y: f64, look: Point) -> AntennaArray {
     let angle = (look - Point::new(x, y)).angle();
@@ -24,7 +23,7 @@ fn capture(
     packets: usize,
     seed: u64,
 ) -> Vec<ApPackets> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     arrays
         .iter()
         .filter_map(|a| {
@@ -57,7 +56,11 @@ fn free_space_sub_half_meter() {
 fn multipath_room_sub_meter() {
     let mut plan = Floorplan::empty();
     plan.add_rect(0.0, 0.0, 12.0, 9.0, Material::CONCRETE);
-    plan.add_wall(Point::new(6.0, 0.0), Point::new(6.0, 4.0), Material::DRYWALL);
+    plan.add_wall(
+        Point::new(6.0, 0.0),
+        Point::new(6.0, 4.0),
+        Material::DRYWALL,
+    );
     plan.add_wall(Point::new(3.0, 6.5), Point::new(4.5, 6.5), Material::METAL);
     let target = Point::new(8.2, 3.4);
     let center = Point::new(6.0, 4.5);
@@ -68,7 +71,7 @@ fn multipath_room_sub_meter() {
         ap_at(0.4, 8.6, center),
         ap_at(6.0, 8.6, Point::new(6.0, 3.0)),
     ];
-    let aps = capture(&plan, target, &arrays, &TraceConfig::commodity(), 10, 2);
+    let aps = capture(&plan, target, &arrays, &TraceConfig::commodity(), 10, 5);
     let est = SpotFi::new(SpotFiConfig::default()).localize(&aps).unwrap();
     let err = est.position.distance(target);
     // Single-seed smoke bound — the statistical accuracy claims live in
@@ -111,12 +114,15 @@ fn more_packets_do_not_hurt() {
     ];
     let spotfi = SpotFi::new(SpotFiConfig::default());
     let err_for = |packets: usize| {
-        let aps = capture(&plan, target, &arrays, &TraceConfig::commodity(), packets, 7);
-        spotfi
-            .localize(&aps)
-            .unwrap()
-            .position
-            .distance(target)
+        let aps = capture(
+            &plan,
+            target,
+            &arrays,
+            &TraceConfig::commodity(),
+            packets,
+            7,
+        );
+        spotfi.localize(&aps).unwrap().position.distance(target)
     };
     let e10 = err_for(10);
     let e40 = err_for(40);

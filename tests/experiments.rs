@@ -27,10 +27,18 @@ fn fig5_phases_and_clusters() {
 
 #[test]
 fn fig7_all_panels_produce_cdfs() {
-    for panel in [fig7::Panel::Office, fig7::Panel::Nlos, fig7::Panel::Corridor] {
+    for panel in [
+        fig7::Panel::Office,
+        fig7::Panel::Nlos,
+        fig7::Panel::Corridor,
+    ] {
         let r = fig7::run(panel, &opts());
         assert!(!r.spotfi.is_empty(), "{:?}: no SpotFi errors", panel);
-        assert!(!r.arraytrack.is_empty(), "{:?}: no ArrayTrack errors", panel);
+        assert!(
+            !r.arraytrack.is_empty(),
+            "{:?}: no ArrayTrack errors",
+            panel
+        );
         // Errors are physical (inside a 40 × 20 m building).
         for &e in r.spotfi.samples.iter().chain(r.arraytrack.samples.iter()) {
             assert!((0.0..=45.0).contains(&e), "{:?}: error {} m", panel, e);

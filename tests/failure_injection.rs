@@ -3,11 +3,10 @@
 //! produce: corrupted packets, dead antennas, silent APs, absurd
 //! configurations.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use spotfi::core::{ApPackets, Estimator, SpotFi, SpotFiConfig, SpotFiError};
 use spotfi::math::{c64, CMat};
 use spotfi::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+use spotfi_channel::Rng;
 
 fn ap_at(x: f64, y: f64, look: Point) -> AntennaArray {
     let angle = (look - Point::new(x, y)).angle();
@@ -22,7 +21,7 @@ fn healthy_aps(target: Point, seed: u64, packets: usize) -> Vec<ApPackets> {
     let plan = Floorplan::empty();
     let cfg = TraceConfig::commodity();
     let center = Point::new(5.0, 5.0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
         .iter()
         .map(|&(x, y)| {
@@ -52,7 +51,10 @@ fn corrupted_packets_are_dropped_not_fatal() {
 
     let spotfi = SpotFi::new(SpotFiConfig::fast_test());
     let analysis = spotfi.analyze_ap(&aps[0]).expect("analysis survives");
-    assert!(analysis.dropped_packets >= 2, "NaN/zero packets must be dropped");
+    assert!(
+        analysis.dropped_packets >= 2,
+        "NaN/zero packets must be dropped"
+    );
 
     let est = spotfi.localize(&aps).expect("fix despite corruption");
     assert!(
@@ -72,9 +74,8 @@ fn wrong_csi_shape_is_rejected_per_packet() {
     }
     let spotfi = SpotFi::new(SpotFiConfig::fast_test());
     // That AP fails cleanly…
-    match spotfi.analyze_ap(&aps[1]) {
-        Ok(a) => assert!(a.direct.is_none(), "degenerate AP must not yield a path"),
-        Err(_) => {}
+    if let Ok(a) = spotfi.analyze_ap(&aps[1]) {
+        assert!(a.direct.is_none(), "degenerate AP must not yield a path");
     }
     // …and the remaining three still localize.
     let est = spotfi.localize(&aps).expect("3 healthy APs suffice");
@@ -92,7 +93,10 @@ fn all_aps_dead_is_a_clean_error() {
     let spotfi = SpotFi::new(SpotFiConfig::fast_test());
     match spotfi.localize(&aps) {
         Err(SpotFiError::InsufficientAps { .. }) => {}
-        other => panic!("expected InsufficientAps, got {:?}", other.map(|e| e.position)),
+        other => panic!(
+            "expected InsufficientAps, got {:?}",
+            other.map(|e| e.position)
+        ),
     }
 }
 

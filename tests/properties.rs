@@ -1,17 +1,18 @@
-//! Property-based integration tests (proptest): invariants of the
-//! simulator-estimator pair over randomized geometry and parameters.
+//! Randomized property tests: invariants of the simulator-estimator pair
+//! over randomized geometry and parameters.
+//!
+//! Each property draws its cases from a seeded [`Rng`] loop, so runs are
+//! fully deterministic and need no external property-testing framework.
+//! On failure the case index and drawn parameters are in the panic message,
+//! which is all a regression needs to reproduce (fixed seed ⇒ same cases).
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
+use spotfi::channel::impairments::apply_sto;
+use spotfi::channel::{synthesize_csi, OfdmConfig, Rng};
 use spotfi::core::sanitize::sanitize_csi;
 use spotfi::core::steering::steering_vector;
 use spotfi::core::{find_peaks, music_spectrum, smoothed_csi, SpotFiConfig};
-use spotfi::channel::impairments::apply_sto;
-use spotfi::channel::{synthesize_csi, OfdmConfig};
+use spotfi::math::CMat;
 use spotfi::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
-use spotfi::math::{c64, CMat};
 
 fn test_array() -> AntennaArray {
     AntennaArray::intel5300(
@@ -24,8 +25,7 @@ fn test_array() -> AntennaArray {
 /// Builds an ideal CSI matrix for one synthetic path.
 fn single_path_csi(aoa_deg: f64, tof_ns: f64) -> CMat {
     let cfg = SpotFiConfig::fast_test();
-    let spacing =
-        spotfi::channel::constants::half_wavelength_spacing(cfg.ofdm.carrier_hz);
+    let spacing = spotfi::channel::constants::half_wavelength_spacing(cfg.ofdm.carrier_hz);
     let v = steering_vector(
         aoa_deg.to_radians().sin(),
         tof_ns * 1e-9,
@@ -38,30 +38,46 @@ fn single_path_csi(aoa_deg: f64, tof_ns: f64) -> CMat {
     CMat::from_fn(3, 30, |m, n| v[m * 30 + n])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// MUSIC recovers a single path's parameters anywhere on the grid.
-    #[test]
-    fn music_recovers_single_path(aoa in -80.0f64..80.0, tof in 5.0f64..350.0) {
-        let cfg = SpotFiConfig::fast_test();
+/// MUSIC recovers a single path's parameters anywhere on the grid.
+#[test]
+fn music_recovers_single_path() {
+    let mut rng = Rng::seed_from_u64(0x5001);
+    let cfg = SpotFiConfig::fast_test();
+    for case in 0..24 {
+        let aoa = rng.gen_range(-80.0..80.0);
+        let tof = rng.gen_range(5.0..350.0);
         let csi = single_path_csi(aoa, tof);
         let x = smoothed_csi(&csi, &cfg).unwrap();
         let spec = music_spectrum(&x, &cfg).unwrap();
         let peaks = find_peaks(&spec, 3);
-        prop_assert!(!peaks.is_empty());
-        prop_assert!((peaks[0].aoa_deg - aoa).abs() <= 3.0,
-            "aoa {} vs {}", peaks[0].aoa_deg, aoa);
-        prop_assert!((peaks[0].tof_ns - tof).abs() <= 6.0,
-            "tof {} vs {}", peaks[0].tof_ns, tof);
+        assert!(!peaks.is_empty(), "case {}: no peaks", case);
+        assert!(
+            (peaks[0].aoa_deg - aoa).abs() <= 3.0,
+            "case {}: aoa {} vs {}",
+            case,
+            peaks[0].aoa_deg,
+            aoa
+        );
+        assert!(
+            (peaks[0].tof_ns - tof).abs() <= 6.0,
+            "case {}: tof {} vs {}",
+            case,
+            peaks[0].tof_ns,
+            tof
+        );
     }
+}
 
-    /// Sanitization makes the estimator's output invariant to any STO.
-    #[test]
-    fn estimates_invariant_to_sto(aoa in -70.0f64..70.0, tof in 10.0f64..200.0,
-                                  sto_ns in -120.0f64..120.0) {
-        let cfg = SpotFiConfig::fast_test();
-        let ofdm = OfdmConfig::intel5300_40mhz();
+/// Sanitization makes the estimator's output invariant to any STO.
+#[test]
+fn estimates_invariant_to_sto() {
+    let mut rng = Rng::seed_from_u64(0x5002);
+    let cfg = SpotFiConfig::fast_test();
+    let ofdm = OfdmConfig::intel5300_40mhz();
+    for case in 0..24 {
+        let aoa = rng.gen_range(-70.0..70.0);
+        let tof = rng.gen_range(10.0..200.0);
+        let sto_ns = rng.gen_range(-120.0..120.0);
         let clean = single_path_csi(aoa, tof);
         let mut dirty = clean.clone();
         apply_sto(&mut dirty, &ofdm, sto_ns * 1e-9);
@@ -75,43 +91,79 @@ proptest! {
         };
         let a = run(&clean);
         let b = run(&dirty);
-        prop_assert!((a.aoa_deg - b.aoa_deg).abs() < 0.5,
-            "AoA changed with STO: {} vs {}", a.aoa_deg, b.aoa_deg);
-        prop_assert!((a.tof_ns - b.tof_ns).abs() < 2.0,
-            "relative ToF changed with STO: {} vs {}", a.tof_ns, b.tof_ns);
+        assert!(
+            (a.aoa_deg - b.aoa_deg).abs() < 0.5,
+            "case {}: AoA changed with STO {}: {} vs {}",
+            case,
+            sto_ns,
+            a.aoa_deg,
+            b.aoa_deg
+        );
+        assert!(
+            (a.tof_ns - b.tof_ns).abs() < 2.0,
+            "case {}: relative ToF changed with STO {}: {} vs {}",
+            case,
+            sto_ns,
+            a.tof_ns,
+            b.tof_ns
+        );
     }
+}
 
-    /// The simulator's ground-truth AoA always matches plain geometry, for
-    /// arbitrary AP orientation and target placement (free space).
-    #[test]
-    fn traced_direct_path_matches_geometry(
-        tx in -20.0f64..20.0, ty in 1.0f64..20.0, normal in -3.0f64..3.0
-    ) {
-        let plan = Floorplan::empty();
+/// The simulator's ground-truth AoA always matches plain geometry, for
+/// arbitrary AP orientation and target placement (free space).
+#[test]
+fn traced_direct_path_matches_geometry() {
+    let mut rng = Rng::seed_from_u64(0x5003);
+    let plan = Floorplan::empty();
+    let mut checked = 0usize;
+    for case in 0..24 {
+        let tx = rng.gen_range(-20.0..20.0);
+        let ty = rng.gen_range(1.0..20.0);
+        let normal = rng.gen_range(-3.0..3.0);
         let ap = AntennaArray::intel5300(
             Point::new(0.0, 0.0),
             normal,
             spotfi::channel::constants::DEFAULT_CARRIER_HZ,
         );
         let target = Point::new(tx, ty);
-        prop_assume!(target.distance(ap.position) > 0.5);
+        if target.distance(ap.position) <= 0.5 {
+            continue;
+        }
         let cfg = spotfi::channel::raytrace::RaytraceConfig::default_for_wavelength(0.056);
         let paths = spotfi::channel::trace_paths(&plan, target, &ap, &cfg);
-        prop_assert_eq!(paths.len(), 1);
+        assert_eq!(paths.len(), 1, "case {}", case);
         let expected = ap.aoa_from_deg(target);
-        prop_assert!((paths[0].aoa_deg() - expected).abs() < 1e-6);
+        assert!(
+            (paths[0].aoa_deg() - expected).abs() < 1e-6,
+            "case {}: {} vs {}",
+            case,
+            paths[0].aoa_deg(),
+            expected
+        );
         // ToF consistent with distance.
-        let expected_tof = target.distance(ap.position)
-            / spotfi::channel::constants::SPEED_OF_LIGHT;
-        prop_assert!((paths[0].tof_s - expected_tof).abs() < 1e-15);
+        let expected_tof =
+            target.distance(ap.position) / spotfi::channel::constants::SPEED_OF_LIGHT;
+        assert!(
+            (paths[0].tof_s - expected_tof).abs() < 1e-15,
+            "case {}",
+            case
+        );
+        checked += 1;
     }
+    assert!(checked >= 20, "too many cases skipped: {}", 24 - checked);
+}
 
-    /// CSI synthesis and the steering model agree for arbitrary paths: the
-    /// estimator's model is exactly the simulator's physics.
-    #[test]
-    fn synthesis_matches_steering_model(aoa in -1.0f64..1.0, tof in 1.0f64..300.0) {
-        let ofdm = OfdmConfig::intel5300_40mhz();
-        let array = test_array();
+/// CSI synthesis and the steering model agree for arbitrary paths: the
+/// estimator's model is exactly the simulator's physics.
+#[test]
+fn synthesis_matches_steering_model() {
+    let mut rng = Rng::seed_from_u64(0x5004);
+    let ofdm = OfdmConfig::intel5300_40mhz();
+    let array = test_array();
+    for case in 0..24 {
+        let aoa = rng.gen_range(-1.0..1.0);
+        let tof = rng.gen_range(1.0..300.0);
         let path = spotfi::channel::Path {
             kind: spotfi::channel::PathKind::Direct,
             length_m: tof * 0.3,
@@ -123,66 +175,102 @@ proptest! {
             vertices: vec![],
         };
         let h = synthesize_csi(&[path], &array, &ofdm);
-        let v = steering_vector(aoa, tof * 1e-9, 3, 30, array.spacing,
-                                ofdm.carrier_hz, ofdm.subcarrier_spacing_hz);
+        let v = steering_vector(
+            aoa,
+            tof * 1e-9,
+            3,
+            30,
+            array.spacing,
+            ofdm.carrier_hz,
+            ofdm.subcarrier_spacing_hz,
+        );
         // Up to one global phase (the carrier-frequency ToF phase folded
         // into γ), the synthesized CSI must equal the steering vector.
         let g = h[(0, 0)] / v[0];
         for m in 0..3 {
             for n in 0..30 {
                 let expect = v[m * 30 + n] * g;
-                prop_assert!((h[(m, n)] - expect).abs() < 1e-9,
-                    "mismatch at ({}, {})", m, n);
+                assert!(
+                    (h[(m, n)] - expect).abs() < 1e-9,
+                    "case {}: mismatch at ({}, {})",
+                    case,
+                    m,
+                    n
+                );
             }
         }
-        prop_assert!((g.abs() - 1.0).abs() < 1e-9);
+        assert!((g.abs() - 1.0).abs() < 1e-9, "case {}", case);
     }
+}
 
-    /// RSSI decreases (weakly) with distance in free space.
-    #[test]
-    fn rssi_monotone_in_distance(d1 in 1.0f64..10.0, d2 in 11.0f64..40.0) {
-        let plan = Floorplan::empty();
-        let mut cfg = TraceConfig::commodity();
-        cfg.rssi.shadowing_std_db = 0.0;
-        cfg.rssi.quantize = false;
-        let ap = test_array();
-        let mut rng = StdRng::seed_from_u64(5);
+/// RSSI decreases (weakly) with distance in free space.
+#[test]
+fn rssi_monotone_in_distance() {
+    let mut rng = Rng::seed_from_u64(0x5005);
+    let plan = Floorplan::empty();
+    let mut cfg = TraceConfig::commodity();
+    cfg.rssi.shadowing_std_db = 0.0;
+    cfg.rssi.quantize = false;
+    let ap = test_array();
+    for case in 0..24 {
+        let d1 = rng.gen_range(1.0..10.0);
+        let d2 = rng.gen_range(11.0..40.0);
         let near = PacketTrace::generate(&plan, Point::new(0.0, d1), &ap, &cfg, 1, &mut rng)
-            .unwrap().packets[0].rssi_dbm;
+            .unwrap()
+            .packets[0]
+            .rssi_dbm;
         let far = PacketTrace::generate(&plan, Point::new(0.0, d2), &ap, &cfg, 1, &mut rng)
-            .unwrap().packets[0].rssi_dbm;
-        prop_assert!(near > far, "near {} dBm vs far {} dBm", near, far);
+            .unwrap()
+            .packets[0]
+            .rssi_dbm;
+        assert!(
+            near > far,
+            "case {}: near ({} m) {} dBm vs far ({} m) {} dBm",
+            case,
+            d1,
+            near,
+            d2,
+            far
+        );
     }
+}
 
-    /// Eigendecomposition invariants on random PSD inputs built from CSI.
-    #[test]
-    fn eigen_invariants_on_random_covariances(seed in 0u64..1000) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let plan = Floorplan::empty();
-        let cfg = TraceConfig::commodity();
+/// Eigendecomposition invariants on random PSD inputs built from CSI.
+#[test]
+fn eigen_invariants_on_random_covariances() {
+    let plan = Floorplan::empty();
+    let cfg = TraceConfig::commodity();
+    let scfg = SpotFiConfig::fast_test();
+    for case in 0..24u64 {
+        let seed = case * 41 + 3;
+        let mut rng = Rng::seed_from_u64(seed);
         let target = Point::new(
             (seed % 17) as f64 * 0.5 - 4.0,
             3.0 + (seed % 11) as f64 * 0.7,
         );
-        prop_assume!(target.distance(Point::new(0.0, 0.0)) > 0.5);
-        let trace = PacketTrace::generate(&plan, target, &test_array(), &cfg, 1, &mut rng)
-            .unwrap();
-        let scfg = SpotFiConfig::fast_test();
+        if target.distance(Point::new(0.0, 0.0)) <= 0.5 {
+            continue;
+        }
+        let trace = PacketTrace::generate(&plan, target, &test_array(), &cfg, 1, &mut rng).unwrap();
         let s = sanitize_csi(&trace.packets[0].csi, scfg.ofdm.subcarrier_spacing_hz).unwrap();
         let x = smoothed_csi(&s.csi, &scfg).unwrap();
         let r = x.mul_hermitian_self();
         let e = spotfi::math::hermitian_eigen(&r);
         // PSD: eigenvalues ≥ 0; sorted; reconstruction accurate.
         for w in e.values.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-9);
+            assert!(w[0] >= w[1] - 1e-9, "case {}: not sorted", case);
         }
-        prop_assert!(*e.values.last().unwrap() > -1e-6 * e.values[0].abs().max(1e-12));
-        let recon_err = (&e.reconstruct() - &r).frobenius_norm()
-            / r.frobenius_norm().max(1e-12);
-        prop_assert!(recon_err < 1e-7, "reconstruction error {}", recon_err);
+        assert!(
+            *e.values.last().unwrap() > -1e-6 * e.values[0].abs().max(1e-12),
+            "case {}: negative eigenvalue",
+            case
+        );
+        let recon_err = (&e.reconstruct() - &r).frobenius_norm() / r.frobenius_norm().max(1e-12);
+        assert!(
+            recon_err < 1e-7,
+            "case {}: reconstruction error {}",
+            case,
+            recon_err
+        );
     }
 }
-
-// Re-export the c64 type so the prop tests compile standalone.
-#[allow(unused)]
-fn _type_check(_: c64) {}

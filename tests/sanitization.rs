@@ -2,12 +2,11 @@
 //! clock impairments — the invariant the whole direct-path machinery rests
 //! on.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use spotfi::channel::impairments::{ClockModel, Impairments};
 use spotfi::core::sanitize::sanitize_csi;
 use spotfi::core::{SpotFi, SpotFiConfig};
 use spotfi::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+use spotfi_channel::Rng;
 
 fn ap() -> AntennaArray {
     AntennaArray::intel5300(
@@ -35,7 +34,7 @@ fn clock_only_config() -> TraceConfig {
 #[test]
 fn sanitized_csi_identical_across_packets_with_different_stos() {
     let plan = Floorplan::empty();
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = Rng::seed_from_u64(10);
     let cfg = clock_only_config();
     let trace =
         PacketTrace::generate(&plan, Point::new(3.0, 6.0), &ap(), &cfg, 20, &mut rng).unwrap();
@@ -52,7 +51,11 @@ fn sanitized_csi_identical_across_packets_with_different_stos() {
     let reference = {
         let s = sanitize_csi(&trace.packets[0].csi, f_delta).unwrap().csi;
         let phase_ref = s[(0, 0)];
-        s.scale(phase_ref.conj().scale(1.0 / phase_ref.norm_sqr().sqrt().max(1e-30)))
+        s.scale(
+            phase_ref
+                .conj()
+                .scale(1.0 / phase_ref.norm_sqr().sqrt().max(1e-30)),
+        )
     };
     for p in &trace.packets[1..] {
         let s = sanitize_csi(&p.csi, f_delta).unwrap().csi;
@@ -69,7 +72,7 @@ fn tof_estimates_cluster_only_after_sanitization() {
     // estimates across packets; the pipeline (which sanitizes) must produce
     // a tight direct-path ToF cluster.
     let plan = Floorplan::empty();
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = Rng::seed_from_u64(11);
     let cfg = clock_only_config();
     let trace =
         PacketTrace::generate(&plan, Point::new(2.0, 8.0), &ap(), &cfg, 10, &mut rng).unwrap();
@@ -104,7 +107,7 @@ fn tof_estimates_cluster_only_after_sanitization() {
 #[test]
 fn estimated_sto_tracks_injected_differences() {
     let plan = Floorplan::empty();
-    let mut rng = StdRng::seed_from_u64(12);
+    let mut rng = Rng::seed_from_u64(12);
     let cfg = clock_only_config();
     let trace =
         PacketTrace::generate(&plan, Point::new(4.0, 5.0), &ap(), &cfg, 10, &mut rng).unwrap();
