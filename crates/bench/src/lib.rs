@@ -133,6 +133,29 @@ pub fn to_json(meta: &[(&str, String)], results: &[BenchResult]) -> String {
     out
 }
 
+/// Extracts the `median_ns` of benchmark `name` from a report produced by
+/// [`to_json`].
+///
+/// Line-oriented scan, not a general JSON parser — it understands exactly
+/// the one-benchmark-per-line format this harness writes, which is all the
+/// CI regression smoke check needs (and keeps the workspace dependency-free).
+pub fn median_from_report(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": {}", json_string(name));
+    for line in json.lines() {
+        if !line.contains(&needle) {
+            continue;
+        }
+        let key = "\"median_ns\": ";
+        let at = line.find(key)? + key.len();
+        let rest = &line[at..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(rest.len());
+        return rest[..end].parse().ok();
+    }
+    None
+}
+
 /// Escapes a string as a JSON string literal.
 pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -173,6 +196,33 @@ mod tests {
         assert!(r.median_ns > 0.0);
         assert!(r.min_ns <= r.median_ns);
         assert!(r.iterations >= 3);
+    }
+
+    #[test]
+    fn median_extraction_round_trips() {
+        let j = to_json(
+            &[("profile", json_string("fast"))],
+            &[
+                BenchResult {
+                    name: "alpha".into(),
+                    median_ns: 1234.5,
+                    min_ns: 1000.0,
+                    mean_ns: 1300.0,
+                    iterations: 10,
+                },
+                BenchResult {
+                    name: "beta".into(),
+                    median_ns: 42.0,
+                    min_ns: 40.0,
+                    mean_ns: 44.0,
+                    iterations: 7,
+                },
+            ],
+        );
+        assert_eq!(median_from_report(&j, "alpha"), Some(1234.5));
+        assert_eq!(median_from_report(&j, "beta"), Some(42.0));
+        assert_eq!(median_from_report(&j, "gamma"), None);
+        assert_eq!(median_from_report("not json", "alpha"), None);
     }
 
     #[test]

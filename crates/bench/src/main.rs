@@ -2,31 +2,38 @@
 //! multi-AP localize, and writes `BENCH_pipeline.json`.
 //!
 //! ```text
-//! spotfi-bench [--fast] [--out PATH]
+//! spotfi-bench [--fast] [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! Three groups of measurements:
 //!
-//! 1. **Kernels** — Hermitian eigendecomposition (30×30), CSI sanitization,
-//!    smoothed-matrix construction, noise-subspace projection, one MUSIC
-//!    sweep (cached/serial and with an 8-thread budget).
+//! 1. **Kernels** — Hermitian eigendecomposition (30×30; the pipeline's
+//!    tridiagonal partial solver plus the Jacobi oracle for reference),
+//!    CSI sanitization, smoothed-matrix construction, noise-subspace
+//!    projection (one-shot and scratch-routed), one MUSIC sweep
+//!    (cached/serial and with an 8-thread budget).
 //! 2. **Baseline** — a faithful re-implementation of the seed's
 //!    `music_spectrum` (noise-eigenvector-sum projector, steering factors
 //!    rebuilt per call, full block matrix) to quantify the serial
 //!    algorithmic speedup.
 //! 3. **End-to-end** — 4-AP × 10-packet localize at `threads = 1` and
 //!    `threads = 8`.
+//!
+//! `--baseline PATH` compares this run's `music_spectrum_cached_t1` median
+//! against a committed report and exits nonzero on a >25% regression (the
+//! CI smoke check).
 
-use spotfi_bench::{bench, to_json, BenchConfig, BenchResult};
+use spotfi_bench::{bench, json_string, median_from_report, to_json, BenchConfig, BenchResult};
 use spotfi_channel::constants::DEFAULT_CARRIER_HZ;
 use spotfi_channel::{AntennaArray, CsiPacket, Floorplan, PacketTrace, Point, Rng, TraceConfig};
-use spotfi_core::music::noise_subspace;
+use spotfi_core::music::{noise_projector_with, noise_subspace};
 use spotfi_core::steering::{omega_powers, phi};
 use spotfi_core::{
-    music_spectrum_cached, sanitize_csi, smoothed_csi, smoothed_csi_into, ApPackets, MusicScratch,
-    MusicSpectrum, RuntimeConfig, SpotFi, SpotFiConfig, SteeringCache,
+    hardware_parallelism, music_spectrum_cached, sanitize_csi, smoothed_csi, smoothed_csi_into,
+    ApPackets, MusicScratch, MusicSpectrum, RuntimeConfig, SpotFi, SpotFiConfig, SteeringCache,
 };
 use spotfi_math::eigen::hermitian_eigen;
+use spotfi_math::eigen_tridiag::{hermitian_eigen_partial_into, TridiagWorkspace};
 use spotfi_math::{c64, CMat};
 
 /// The seed implementation's spectrum evaluation, reproduced for an honest
@@ -107,12 +114,7 @@ fn seed_equivalent_music_spectrum(smoothed: &CMat, cfg: &SpotFiConfig) -> MusicS
         }
     }
 
-    MusicSpectrum {
-        aoa_grid,
-        tof_grid,
-        values,
-        signal_dimension,
-    }
+    MusicSpectrum::new(aoa_grid, tof_grid, values, signal_dimension)
 }
 
 fn ap_array(x: f64, y: f64, toward: Point) -> AntennaArray {
@@ -224,7 +226,16 @@ fn main() {
     };
 
     // --- Kernels -----------------------------------------------------------
+    // `hermitian_eigen_30x30` times the decomposition the pipeline actually
+    // runs: the tridiagonal partial solver extracting the top `max_paths`
+    // eigenvectors into a reused workspace. The full-Jacobi oracle is kept
+    // alongside for reference.
+    let mut eig_ws = TridiagWorkspace::default();
     run("hermitian_eigen_30x30", &cfg, &mut || {
+        hermitian_eigen_partial_into(&cov, spotfi_cfg.music.max_paths, &mut eig_ws);
+        std::hint::black_box(eig_ws.values().len());
+    });
+    run("hermitian_eigen_jacobi_30x30", &cfg, &mut || {
         std::hint::black_box(hermitian_eigen(&cov));
     });
     run("sanitize_csi", &cfg, &mut || {
@@ -238,6 +249,12 @@ fn main() {
     });
     run("noise_subspace", &cfg, &mut || {
         std::hint::black_box(noise_subspace(&smoothed, &spotfi_cfg).unwrap());
+    });
+    let mut proj_scratch = MusicScratch::new(&spotfi_cfg);
+    run("noise_projector_scratch", &cfg, &mut || {
+        std::hint::black_box(
+            noise_projector_with(&smoothed, &spotfi_cfg, &mut proj_scratch).unwrap(),
+        );
     });
 
     let mut scratch = MusicScratch::new(&spotfi_cfg);
@@ -273,9 +290,26 @@ fn main() {
     let t8 = median_of(&results, "localize_4ap_10pkt_t8");
     let music_opt = median_of(&results, "music_spectrum_cached_t1");
     let music_seed = median_of(&results, "music_spectrum_seed_equivalent");
-    let hw_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hw_threads = hardware_parallelism();
+    // The widest thread budget any benchmark above requested (the `_t8`
+    // runs). When it exceeds the host's parallelism the runtime clamps to
+    // the core count, so the t8 numbers measure the clamped run — record
+    // that loudly so a 1-core box can't be misread as a scaling regression
+    // again.
+    let requested_threads = 8usize;
+    let oversubscribed = requested_threads > hw_threads;
+    let warning = if oversubscribed {
+        json_string(&format!(
+            "requested {} threads but only {} hardware thread{} available: t8 budgets are \
+             clamped to the core count and e2e_speedup_t8_vs_t1 does not measure scaling \
+             on this host",
+            requested_threads,
+            hw_threads,
+            if hw_threads == 1 { " is" } else { "s are" },
+        ))
+    } else {
+        "null".to_string()
+    };
 
     let meta: Vec<(&str, String)> = vec![
         (
@@ -283,6 +317,8 @@ fn main() {
             spotfi_bench::json_string(if fast { "fast" } else { "default" }),
         ),
         ("available_parallelism", hw_threads.to_string()),
+        ("requested_threads", requested_threads.to_string()),
+        ("oversubscription_warning", warning),
         (
             "aoa_grid_points",
             spotfi_cfg.music.aoa_grid_deg.len().to_string(),
@@ -310,4 +346,22 @@ fn main() {
         hw_threads,
         if hw_threads == 1 { "" } else { "s" },
     );
+
+    // --- Regression smoke check (CI) --------------------------------------
+    if let Some(i) = args.iter().position(|a| a == "--baseline") {
+        let path = args.get(i + 1).expect("--baseline requires a path");
+        let committed = std::fs::read_to_string(path).expect("read baseline report");
+        let base = median_from_report(&committed, "music_spectrum_cached_t1")
+            .expect("baseline report lacks music_spectrum_cached_t1");
+        let ratio = music_opt / base;
+        eprintln!(
+            "smoke check: music_spectrum_cached_t1 {:.0} ns vs committed baseline {:.0} ns \
+             ({:.2}x)",
+            music_opt, base, ratio
+        );
+        if ratio > 1.25 {
+            eprintln!("FAIL: music_spectrum_cached_t1 regressed >25% vs the committed baseline");
+            std::process::exit(1);
+        }
+    }
 }

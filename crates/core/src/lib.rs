@@ -70,11 +70,14 @@ pub use error::{Result, SpotFiError};
 pub use esprit::esprit_paths;
 pub use likelihood::{score_clusters, select_direct_path, DirectPath};
 pub use localize::{localize, ApMeasurement, LocationEstimate, SearchBounds};
-pub use music::{music_spectrum, music_spectrum_cached, MusicScratch, MusicSpectrum};
+pub use music::{
+    music_spectrum, music_spectrum_cached, noise_projector_with, noise_subspace,
+    noise_subspace_with, MusicScratch, MusicSpectrum, NoiseSubspace,
+};
 pub use pathloss::PathLossModel;
 pub use peaks::{find_peaks, find_peaks_filtered, PathEstimate};
 pub use pipeline::{ApAnalysis, ApPackets, PacketScratch, SpotFi};
-pub use runtime::{parallel_map, parallel_map_with, RuntimeConfig};
+pub use runtime::{hardware_parallelism, parallel_map, parallel_map_with, RuntimeConfig};
 pub use sanitize::{sanitize_csi, SanitizedCsi};
 pub use smoothing::{smoothed_csi, smoothed_csi_into};
 pub use steering::SteeringCache;

@@ -13,23 +13,42 @@
 //!
 //! peaks sharply at each path's `(θ, τ)`.
 //!
-//! ### Factored evaluation
+//! ### Eigendecomposition
+//!
+//! The projector is formed as the signal-subspace complement
+//! `G = I − E_S·E_Sᴴ`, so only the top `max_paths` eigenvectors are ever
+//! needed. The hot path therefore uses the tridiagonalization + QL +
+//! inverse-iteration *partial* solver
+//! ([`spotfi_math::eigen_tridiag`]) instead of cyclic Jacobi, which
+//! accumulates all 30 eigenvectors through every rotation sweep. Jacobi
+//! remains the cross-validation oracle (`tests/eigen_crossvalidate.rs`).
+//!
+//! ### Factored, tiled evaluation
 //!
 //! `a(θ,τ)` has Kronecker structure (antenna ⊗ subcarrier), so with
-//! `G = E_N·E_Nᴴ` partitioned into antenna blocks `G[ma][mb]` (each
-//! `N_s × N_s`), the denominator factors as
-//! `Σ_{ma,mb} Φ̄^ma·Φ^mb · (ωᴴ·G[ma][mb]·ω)`. For each τ we compute the
-//! `M_s × M_s` block quadratic forms once (O(M_s²·N_s²)) and then sweep all
-//! θ in O(M_s²) each — ~50× faster than naive evaluation on the paper's
-//! grid sizes.
+//! `G` partitioned into antenna blocks `G[ma][mb]` (each `N_s × N_s`), the
+//! denominator factors as
+//! `Σ_{ma,mb} Φ̄^ma·Φ^mb · (ωᴴ·G[ma][mb]·ω)`. The sweep is evaluated over
+//! *tiles* of [`TOF_TILE`] consecutive τ columns: the distinct antenna
+//! blocks of `G` are first packed contiguously (`G` is Hermitian, so only
+//! `ma ≥ mb` is stored), each tile computes its block quadratic forms as
+//! contiguous block·ω products (O(M_s²·N_s²) per τ), and the AoA sweep then
+//! writes each `(ia, tile)` run contiguously in the final
+//! `[i_aoa · tof_len + i_tof]` layout. Tiles are also the parallel work
+//! unit — coarse enough that a worker amortizes its scheduling overhead,
+//! unlike the earlier one-τ-column tasks.
 
-use spotfi_math::eigen::hermitian_eigen;
-use spotfi_math::{c64, CMat};
+use spotfi_math::eigen_tridiag::hermitian_eigen_partial_into;
+use spotfi_math::{c64, CMat, TridiagWorkspace};
 
 use crate::config::{GridSpec, SpotFiConfig};
 use crate::error::{Result, SpotFiError};
-use crate::runtime::parallel_map_with;
+use crate::runtime::{parallel_map_with, RuntimeConfig};
 use crate::steering::SteeringCache;
+
+/// Number of consecutive ToF columns evaluated per tile (one parallel work
+/// unit of the MUSIC sweep).
+pub const TOF_TILE: usize = 32;
 
 /// A sampled MUSIC pseudospectrum over the (AoA, ToF) grid.
 #[derive(Clone, Debug)]
@@ -42,9 +61,39 @@ pub struct MusicSpectrum {
     pub values: Vec<f64>,
     /// Number of signal-subspace eigenvectors used.
     pub signal_dimension: usize,
+    /// Grid indices of the global maximum, tracked while the spectrum is
+    /// filled (first strict maximum in `(i_aoa, i_tof)` scan order).
+    peak: (usize, usize),
 }
 
 impl MusicSpectrum {
+    /// Builds a spectrum from raw values (indexed
+    /// `[i_aoa · tof_len + i_tof]`), computing the stored peak by full scan.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != aoa_grid.len() * tof_grid.len()`.
+    pub fn new(
+        aoa_grid: GridSpec,
+        tof_grid: GridSpec,
+        values: Vec<f64>,
+        signal_dimension: usize,
+    ) -> Self {
+        assert_eq!(
+            values.len(),
+            aoa_grid.len() * tof_grid.len(),
+            "values length must match the grid"
+        );
+        let mut spec = MusicSpectrum {
+            aoa_grid,
+            tof_grid,
+            values,
+            signal_dimension,
+            peak: (0, 0),
+        };
+        spec.peak = spec.scan_peak();
+        spec
+    }
+
     /// Value at grid indices.
     #[inline]
     pub fn at(&self, i_aoa: usize, i_tof: usize) -> f64 {
@@ -52,21 +101,44 @@ impl MusicSpectrum {
     }
 
     /// The global maximum as `(aoa_deg, tof_ns, value)`.
+    ///
+    /// O(1): the peak is tracked while the spectrum is filled instead of
+    /// rescanning the whole grid per call; debug builds cross-check the
+    /// stored peak against a full rescan.
     pub fn argmax(&self) -> (f64, f64, f64) {
-        let mut best = (0usize, 0usize, f64::MIN);
+        debug_assert_eq!(
+            self.peak,
+            self.scan_peak(),
+            "stored peak out of sync with spectrum values"
+        );
+        let (ia, it) = self.peak;
+        (
+            self.aoa_grid.value(ia),
+            self.tof_grid.value(it),
+            self.at(ia, it),
+        )
+    }
+
+    /// Grid indices `(i_aoa, i_tof)` of the global maximum.
+    pub fn peak_indices(&self) -> (usize, usize) {
+        self.peak
+    }
+
+    /// Reference full-grid scan: the first strict maximum in
+    /// `(i_aoa, i_tof)` order.
+    fn scan_peak(&self) -> (usize, usize) {
+        let mut best = (0usize, 0usize);
+        let mut best_v = f64::MIN;
         for ia in 0..self.aoa_grid.len() {
             for it in 0..self.tof_grid.len() {
                 let v = self.at(ia, it);
-                if v > best.2 {
-                    best = (ia, it, v);
+                if v > best_v {
+                    best = (ia, it);
+                    best_v = v;
                 }
             }
         }
-        (
-            self.aoa_grid.value(best.0),
-            self.tof_grid.value(best.1),
-            best.2,
-        )
+        best
     }
 }
 
@@ -82,13 +154,16 @@ pub struct NoiseSubspace {
 }
 
 /// Reusable per-worker buffers for the per-packet MUSIC chain: the
-/// covariance `X·Xᴴ` and the noise projector `G`. One packet's analysis
-/// fully overwrites both, so a scratch can be reused across any number of
-/// packets (the pipeline keeps one per worker thread).
-#[derive(Clone, Debug)]
+/// covariance `X·Xᴴ`, the eigensolver workspace, the noise projector `G`,
+/// and its packed antenna blocks. One packet's analysis fully overwrites
+/// all of them, so a scratch can be reused across any number of packets
+/// (the pipeline keeps one per worker thread).
+#[derive(Clone, Debug, Default)]
 pub struct MusicScratch {
     cov: CMat,
     proj: CMat,
+    eig: TridiagWorkspace,
+    gblocks: Vec<c64>,
 }
 
 impl MusicScratch {
@@ -98,7 +173,21 @@ impl MusicScratch {
         MusicScratch {
             cov: CMat::zeros(n, n),
             proj: CMat::zeros(n, n),
+            eig: TridiagWorkspace::default(),
+            gblocks: Vec::new(),
         }
+    }
+
+    /// Covariance eigenvalues (descending) from the most recent
+    /// [`noise_projector_with`] call.
+    pub fn eigenvalues(&self) -> &[f64] {
+        self.eig.values()
+    }
+
+    /// The noise projector `G = I − E_S·E_Sᴴ` from the most recent
+    /// [`noise_projector_with`] call.
+    pub fn projector(&self) -> &CMat {
+        &self.proj
     }
 }
 
@@ -106,50 +195,71 @@ impl MusicScratch {
 /// `noise_threshold_ratio · λ_max` are noise, but at least
 /// `dim − max_paths` vectors are always assigned to noise so the signal
 /// subspace can never swallow the whole space.
+///
+/// One-shot convenience form of [`noise_subspace_with`] that builds (and
+/// drops) its own scratch; callers with a per-worker [`MusicScratch`]
+/// should route it through instead.
 pub fn noise_subspace(smoothed: &CMat, cfg: &SpotFiConfig) -> Result<NoiseSubspace> {
     let mut scratch = MusicScratch::new(cfg);
-    let (signal_dimension, eigenvalues) = noise_projector_into(smoothed, cfg, &mut scratch)?;
+    noise_subspace_with(smoothed, cfg, &mut scratch)
+}
+
+/// [`noise_subspace`] with caller-owned scratch: the covariance and
+/// eigensolver buffers are reused across calls, so the only allocations are
+/// the returned projector and eigenvalue copies.
+pub fn noise_subspace_with(
+    smoothed: &CMat,
+    cfg: &SpotFiConfig,
+    scratch: &mut MusicScratch,
+) -> Result<NoiseSubspace> {
+    let signal_dimension = noise_projector_with(smoothed, cfg, scratch)?;
     Ok(NoiseSubspace {
-        projector: scratch.proj,
+        projector: scratch.proj.clone(),
         signal_dimension,
-        eigenvalues,
+        eigenvalues: scratch.eig.values().to_vec(),
     })
 }
 
-/// Core of [`noise_subspace`]: computes the projector into
-/// `scratch.proj` and returns `(signal_dimension, eigenvalues)`.
+/// Allocation-free core of the eigendecomposition step: computes the noise
+/// projector into `scratch` (readable via [`MusicScratch::projector`], with
+/// eigenvalues at [`MusicScratch::eigenvalues`]) and returns the signal
+/// dimension.
 ///
 /// The projector is formed as the signal-subspace complement
 /// `G = I − E_S·E_Sᴴ`, which is mathematically identical to summing the
 /// noise eigenvectors (the eigenbasis is orthonormal and complete) but
 /// needs only `signal_dimension ≤ max_paths` outer products instead of
-/// `dim − signal_dimension` (≈ 5 instead of ≈ 25 for the paper's shapes).
-fn noise_projector_into(
+/// `dim − signal_dimension` (≈ 5 instead of ≈ 25 for the paper's shapes) —
+/// and therefore only the top `max_paths` eigenvectors, which is what lets
+/// the partial eigensolver skip the other ~22.
+pub fn noise_projector_with(
     smoothed: &CMat,
     cfg: &SpotFiConfig,
     scratch: &mut MusicScratch,
-) -> Result<(usize, Vec<f64>)> {
+) -> Result<usize> {
     smoothed.mul_hermitian_self_into(&mut scratch.cov);
     if !scratch.cov.as_slice().iter().all(|z| z.is_finite()) {
         return Err(SpotFiError::DegenerateCsi);
     }
-    let eig = hermitian_eigen(&scratch.cov);
-    let dim = eig.values.len();
-    let lmax = eig.values[0].max(0.0);
+    hermitian_eigen_partial_into(&scratch.cov, cfg.music.max_paths, &mut scratch.eig);
+    let values = scratch.eig.values();
+    let dim = values.len();
+    let lmax = values[0].max(0.0);
     if lmax <= 0.0 {
         return Err(SpotFiError::DegenerateCsi);
     }
     let threshold = cfg.music.noise_threshold_ratio * lmax;
-    let by_threshold = eig.values.iter().filter(|&&l| l >= threshold).count();
+    let by_threshold = values.iter().filter(|&&l| l >= threshold).count();
     let signal_dimension = by_threshold.min(cfg.music.max_paths).max(1);
 
+    let vectors = scratch.eig.vectors();
     let g = &mut scratch.proj;
     g.reset_zeros(dim, dim);
     for i in 0..dim {
         g[(i, i)] = c64::ONE;
     }
     for k in 0..signal_dimension {
-        let v = eig.vectors.col(k);
+        let v = vectors.col(k);
         for j in 0..dim {
             let vj = v[j].conj();
             let col = g.col_mut(j);
@@ -158,7 +268,7 @@ fn noise_projector_into(
             }
         }
     }
-    Ok((signal_dimension, eig.values))
+    Ok(signal_dimension)
 }
 
 /// Evaluates the MUSIC pseudospectrum on the configured grid using the
@@ -175,10 +285,13 @@ pub fn music_spectrum(smoothed: &CMat, cfg: &SpotFiConfig) -> Result<MusicSpectr
 
 /// Evaluates the MUSIC pseudospectrum with precomputed steering factors,
 /// reusable scratch buffers, and up to `threads` worker threads sweeping
-/// the ToF grid columns.
+/// tiles of [`TOF_TILE`] ToF columns each (the budget is additionally
+/// capped at the host's available parallelism — oversubscribing a
+/// CPU-bound sweep only adds context-switch overhead).
 ///
 /// Each `(AoA, ToF)` cell is computed by arithmetic that depends only on
-/// that cell, so the result is bit-identical for every thread count.
+/// that cell's tile-local indices, so the result is bit-identical for every
+/// thread count.
 ///
 /// # Panics
 /// Panics if `cache` was built for a different grid/subarray shape.
@@ -197,63 +310,127 @@ pub fn music_spectrum_cached(
         "SteeringCache built for a different SpotFiConfig"
     );
 
-    let (signal_dimension, _eigenvalues) = noise_projector_into(smoothed, cfg, scratch)?;
-    let g = &scratch.proj;
+    let signal_dimension = noise_projector_with(smoothed, cfg, scratch)?;
+
+    // Pack the distinct antenna blocks of G contiguously, column-major per
+    // block: gblocks[p·ns² + j·ns + i] = G[ma·ns + i, mb·ns + j] for pair
+    // p ↔ (ma, mb), ma ≥ mb (G is Hermitian, the upper blocks are
+    // conjugate mirrors). The sweep kernel then reads only unit-stride
+    // slices instead of walking strided projector columns per grid point.
+    let npairs = ms * (ms + 1) / 2;
+    scratch.gblocks.clear();
+    scratch.gblocks.resize(npairs * ns * ns, c64::ZERO);
+    {
+        let g = &scratch.proj;
+        let mut p = 0;
+        for ma in 0..ms {
+            for mb in 0..=ma {
+                let base = p * ns * ns;
+                for j in 0..ns {
+                    let src = &g.col(mb * ns + j)[ma * ns..(ma + 1) * ns];
+                    scratch.gblocks[base + j * ns..base + (j + 1) * ns].copy_from_slice(src);
+                }
+                p += 1;
+            }
+        }
+    }
+    let gb = &scratch.gblocks;
 
     let aoa_grid = cfg.music.aoa_grid_deg;
     let tof_grid = cfg.music.tof_grid_ns;
     let n_aoa = aoa_grid.len();
     let n_tof = tof_grid.len();
+    let n_tiles = n_tof.div_ceil(TOF_TILE);
+    let threads = RuntimeConfig::with_threads(threads).effective_threads();
 
-    // One task per ToF grid point: compute the M_s × M_s block quadratic
-    // forms B[ma][mb] = ωᴴ·G_block(ma, mb)·ω (O(M_s²·N_s²)), then sweep all
-    // AoAs in O(M_s²) each. G is Hermitian, so B is too: only the lower
-    // triangle is computed, the upper is mirrored.
-    let columns: Vec<Vec<f64>> = parallel_map_with(
-        n_tof,
+    // One task per tile of TOF_TILE consecutive τ columns. Stage 1 computes
+    // the M_s(M_s+1)/2 block quadratic forms b_p(τ) = ωᴴ·G[ma][mb]·ω for
+    // every τ in the tile; stage 2 sweeps AoA × tile producing the
+    // denominators in O(M_s²) each, written contiguously per (ia, tile)
+    // run. Each tile also reports its running peak so the global argmax
+    // needs no rescan.
+    let tiles: Vec<(Vec<f64>, (f64, usize, usize))> = parallel_map_with(
+        n_tiles,
         threads,
-        || vec![c64::ZERO; ms * ms],
-        |blocks, it| {
-            let w = cache.omega_row(it);
-            for ma in 0..ms {
-                for mb in 0..=ma {
-                    let mut acc = c64::ZERO;
-                    for j in 0..ns {
-                        let wj = w[j];
-                        let col_base = mb * ns + j;
-                        let mut inner = c64::ZERO;
-                        for i in 0..ns {
-                            inner += w[i].conj() * g[(ma * ns + i, col_base)];
+        || (vec![c64::ZERO; npairs * TOF_TILE], vec![c64::ZERO; ns]),
+        |(bl, col), tile| {
+            let t0 = tile * TOF_TILE;
+            let tl = TOF_TILE.min(n_tof - t0);
+            // Stage 1: block quadratic forms for every τ in the tile.
+            for (t, it) in (t0..t0 + tl).enumerate() {
+                let w = cache.omega_row(it);
+                let mut p = 0;
+                for _ma in 0..ms {
+                    for _mb in 0.._ma + 1 {
+                        let base = p * ns * ns;
+                        // col = G_block·ω as an axpy over contiguous block
+                        // columns, then b = ωᴴ·col.
+                        col.fill(c64::ZERO);
+                        for j in 0..ns {
+                            let wj = w[j];
+                            let gcol = &gb[base + j * ns..base + (j + 1) * ns];
+                            for i in 0..ns {
+                                col[i] += gcol[i] * wj;
+                            }
                         }
-                        acc += inner * wj;
-                    }
-                    blocks[ma * ms + mb] = acc;
-                    if mb != ma {
-                        blocks[mb * ms + ma] = acc.conj();
+                        let mut acc = c64::ZERO;
+                        for i in 0..ns {
+                            acc += w[i].conj() * col[i];
+                        }
+                        bl[p * tl + t] = acc;
+                        p += 1;
                     }
                 }
             }
-            let mut column = vec![0.0f64; n_aoa];
-            for (ia, out) in column.iter_mut().enumerate() {
-                let p = cache.phi_row(ia);
-                let mut denom = c64::ZERO;
-                for ma in 0..ms {
-                    for mb in 0..ms {
-                        denom += p[ma].conj() * blocks[ma * ms + mb] * p[mb];
+            // Stage 2: AoA sweep. The Hermitian mirror pairs contribute
+            // 2·Re(Φ̄^ma·b·Φ^mb); diagonal blocks are real quadratic forms.
+            let mut buf = vec![0.0f64; n_aoa * tl];
+            let mut peak = (f64::MIN, 0usize, 0usize);
+            for ia in 0..n_aoa {
+                let ph = cache.phi_row(ia);
+                let row = &mut buf[ia * tl..(ia + 1) * tl];
+                for (t, out) in row.iter_mut().enumerate() {
+                    let mut denom = 0.0f64;
+                    let mut p = 0;
+                    for ma in 0..ms {
+                        for mb in 0..ma {
+                            let z = ph[ma].conj() * bl[p * tl + t] * ph[mb];
+                            denom += 2.0 * z.re;
+                            p += 1;
+                        }
+                        denom += ph[ma].norm_sqr() * bl[p * tl + t].re;
+                        p += 1;
+                    }
+                    // Theoretically ≥ 0; clamp for numerical safety.
+                    let v = 1.0 / denom.max(1e-12);
+                    *out = v;
+                    if v > peak.0 {
+                        peak = (v, ia, t0 + t);
                     }
                 }
-                // Theoretically real and ≥ 0; clamp for numerical safety.
-                let d = denom.re.max(1e-12);
-                *out = 1.0 / d;
             }
-            column
+            (buf, peak)
         },
     );
 
+    // Assemble: each (ia, tile) run is one contiguous copy into the final
+    // [i_aoa · tof_len + i_tof] layout; tile peaks merge with the same
+    // tie-break the reference scan uses (value, then lexicographic
+    // (i_aoa, i_tof)).
     let mut values = vec![0.0f64; n_aoa * n_tof];
-    for (it, column) in columns.iter().enumerate() {
-        for (ia, v) in column.iter().enumerate() {
-            values[ia * n_tof + it] = *v;
+    let mut peak_v = f64::MIN;
+    let mut peak = (0usize, 0usize);
+    for (tile, (buf, tile_peak)) in tiles.iter().enumerate() {
+        let t0 = tile * TOF_TILE;
+        let tl = TOF_TILE.min(n_tof - t0);
+        for ia in 0..n_aoa {
+            let dst = ia * n_tof + t0;
+            values[dst..dst + tl].copy_from_slice(&buf[ia * tl..(ia + 1) * tl]);
+        }
+        let (v, ia, it) = *tile_peak;
+        if v > peak_v || (v == peak_v && (ia, it) < peak) {
+            peak_v = v;
+            peak = (ia, it);
         }
     }
 
@@ -262,6 +439,7 @@ pub fn music_spectrum_cached(
         tof_grid,
         values,
         signal_dimension,
+        peak,
     })
 }
 
@@ -271,6 +449,7 @@ mod tests {
     use crate::smoothing::smoothed_csi;
     use crate::steering::steering_vector;
     use spotfi_channel::constants::{DEFAULT_CARRIER_HZ, INTEL5300_SUBCARRIER_SPACING_HZ};
+    use spotfi_math::eigen::hermitian_eigen;
 
     fn cfg() -> SpotFiConfig {
         SpotFiConfig::fast_test()
@@ -414,6 +593,7 @@ mod tests {
             let par = music_spectrum_cached(&x, &c, &cache, threads, &mut s).unwrap();
             assert_eq!(serial.values, par.values, "threads={}", threads);
             assert_eq!(serial.signal_dimension, par.signal_dimension);
+            assert_eq!(serial.peak_indices(), par.peak_indices());
         }
     }
 
@@ -505,5 +685,67 @@ mod tests {
         for w in sub.eigenvalues.windows(2) {
             assert!(w[0] >= w[1] - 1e-9);
         }
+    }
+
+    #[test]
+    fn stored_peak_matches_full_scan() {
+        let c = cfg();
+        let csi = csi_for_paths(&[(20.0, 60.0, c64::ONE), (-35.0, 140.0, c64::new(0.4, 0.1))]);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let spec = music_spectrum(&x, &c).unwrap();
+        // Manual reference scan (same rule as the debug-assert cross-check).
+        let mut best = (0usize, 0usize);
+        let mut best_v = f64::MIN;
+        for ia in 0..spec.aoa_grid.len() {
+            for it in 0..spec.tof_grid.len() {
+                if spec.at(ia, it) > best_v {
+                    best_v = spec.at(ia, it);
+                    best = (ia, it);
+                }
+            }
+        }
+        assert_eq!(spec.peak_indices(), best);
+        let (aoa, tof, v) = spec.argmax();
+        assert_eq!(aoa, spec.aoa_grid.value(best.0));
+        assert_eq!(tof, spec.tof_grid.value(best.1));
+        assert_eq!(v, best_v);
+    }
+
+    #[test]
+    fn constructor_computes_peak_with_ties_resolved_first() {
+        // Two equal maxima: the first in (i_aoa, i_tof) scan order wins.
+        let aoa = GridSpec::new(0.0, 2.0, 1.0); // 3 points
+        let tof = GridSpec::new(0.0, 3.0, 1.0); // 4 points
+        let mut values = vec![1.0; 12];
+        values[6] = 7.0; // (ia, it) = (1, 2)
+        values[9] = 7.0; // (ia, it) = (2, 1)
+        let spec = MusicSpectrum::new(aoa, tof, values, 1);
+        assert_eq!(spec.peak_indices(), (1, 2));
+        let (a, t, v) = spec.argmax();
+        assert_eq!((a, t, v), (1.0, 2.0, 7.0));
+    }
+
+    #[test]
+    fn noise_subspace_with_reuses_scratch_and_matches_one_shot() {
+        let c = cfg();
+        let csi = csi_for_paths(&[(25.0, 70.0, c64::ONE)]);
+        let x = smoothed_csi(&csi, &c).unwrap();
+        let one_shot = noise_subspace(&x, &c).unwrap();
+        let mut scratch = MusicScratch::new(&c);
+        // Dirty the scratch with a different packet first.
+        let other = csi_for_paths(&[(-50.0, 200.0, c64::new(0.2, 0.7))]);
+        let xo = smoothed_csi(&other, &c).unwrap();
+        let _ = noise_subspace_with(&xo, &c, &mut scratch).unwrap();
+        let routed = noise_subspace_with(&x, &c, &mut scratch).unwrap();
+        assert_eq!(one_shot.signal_dimension, routed.signal_dimension);
+        assert_eq!(one_shot.eigenvalues, routed.eigenvalues);
+        assert_eq!(
+            (&one_shot.projector - &routed.projector).max_abs(),
+            0.0,
+            "scratch-routed projector must be bit-identical"
+        );
+        // And the scratch accessors expose the same state.
+        assert_eq!(scratch.eigenvalues(), &routed.eigenvalues[..]);
+        assert_eq!((&routed.projector - scratch.projector()).max_abs(), 0.0);
     }
 }

@@ -151,12 +151,7 @@ mod tests {
                 }
             }
         }
-        MusicSpectrum {
-            aoa_grid,
-            tof_grid,
-            values,
-            signal_dimension: bumps.len(),
-        }
+        MusicSpectrum::new(aoa_grid, tof_grid, values, bumps.len())
     }
 
     #[test]
@@ -210,12 +205,12 @@ mod tests {
     fn flat_spectrum_has_no_interior_peaks() {
         let aoa_grid = GridSpec::new(-90.0, 90.0, 5.0);
         let tof_grid = GridSpec::new(0.0, 100.0, 10.0);
-        let spec = MusicSpectrum {
-            values: vec![1.0; aoa_grid.len() * tof_grid.len()],
+        let spec = MusicSpectrum::new(
             aoa_grid,
             tof_grid,
-            signal_dimension: 0,
-        };
+            vec![1.0; aoa_grid.len() * tof_grid.len()],
+            0,
+        );
         // A perfectly flat plateau has no peaks at all.
         let peaks = find_peaks(&spec, 10);
         assert!(peaks.is_empty(), "{} peaks on flat spectrum", peaks.len());

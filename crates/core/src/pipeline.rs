@@ -18,13 +18,17 @@
 //!
 //! Construction precomputes a [`SteeringCache`] (the MUSIC grid's steering
 //! factors) once per configuration. Analysis fans out on the scoped-thread
-//! engine in [`crate::runtime`] at three levels — APs, packets, and MUSIC
-//! ToF columns — splitting the single [`RuntimeConfig`] thread budget
-//! top-down. Every per-item computation is pure, so results are
-//! bit-identical for every thread count; `threads = 1` runs the plain
-//! serial path. Each worker owns a [`PacketScratch`] so per-packet buffers
-//! (smoothed matrix, covariance, noise projector) are allocated once per
-//! worker, not once per packet.
+//! engine in [`crate::runtime`]: the batch path flattens the whole
+//! (AP, packet) cross product into one outermost work list — per-packet
+//! analysis dominates, so the widest level gets the workers — and any
+//! leftover per-branch budget goes to the MUSIC ToF-tile sweep inside a
+//! packet. The budget itself is capped at the host's
+//! [`crate::runtime::hardware_parallelism`]. Every per-item computation is
+//! pure, so results are bit-identical for every thread count;
+//! `threads = 1` runs the plain serial path. Each worker owns a
+//! [`PacketScratch`] so per-packet buffers (smoothed matrix, eigensolver
+//! workspace, noise projector, packed projector blocks) are allocated once
+//! per worker, not once per packet.
 
 use spotfi_channel::{AntennaArray, CsiPacket};
 use spotfi_math::stats::mean;
@@ -39,7 +43,7 @@ use crate::localize::{
 };
 use crate::music::{music_spectrum_cached, MusicScratch};
 use crate::peaks::{find_peaks_filtered, PathEstimate};
-use crate::runtime::{parallel_map, parallel_map_with, RuntimeConfig};
+use crate::runtime::{parallel_map_with, RuntimeConfig};
 use crate::sanitize::sanitize_csi;
 use crate::smoothing::smoothed_csi_into;
 use crate::steering::SteeringCache;
@@ -184,8 +188,10 @@ impl SpotFi {
         self.analyze_ap_budgeted(ap, self.config.runtime)
     }
 
-    /// Per-AP analysis under an explicit thread budget (the AP fan-out in
-    /// [`analyze_all`](Self::analyze_all) hands each AP its share).
+    /// Per-AP analysis under an explicit thread budget (used by the
+    /// standalone [`analyze_ap`](Self::analyze_ap) entry point; the batch
+    /// path [`analyze_all`](Self::analyze_all) flattens its fan-out
+    /// instead).
     fn analyze_ap_budgeted(&self, ap: &ApPackets, budget: RuntimeConfig) -> Result<ApAnalysis> {
         if ap.packets.is_empty() {
             return Err(SpotFiError::NoPackets);
@@ -197,6 +203,19 @@ impl SpotFi {
             || PacketScratch::new(&self.config),
             |scratch, i| self.analyze_packet_with(&ap.packets[i], inner.threads(), scratch),
         );
+        self.assemble_ap(ap, per_packet)
+    }
+
+    /// The serial tail of per-AP analysis: collect per-packet estimates
+    /// (in packet order), cluster, select the direct path, average RSSI.
+    fn assemble_ap(
+        &self,
+        ap: &ApPackets,
+        per_packet: Vec<Result<Vec<PathEstimate>>>,
+    ) -> Result<ApAnalysis> {
+        if ap.packets.is_empty() {
+            return Err(SpotFiError::NoPackets);
+        }
         let mut estimates = Vec::new();
         let mut dropped = 0usize;
         for result in per_packet {
@@ -245,17 +264,39 @@ impl SpotFi {
         localize_in_bounds(&measurements, bounds, &self.config.localize)
     }
 
-    /// Runs per-AP analysis on every AP, keeping successes. APs are
-    /// analyzed in parallel; each AP's inner packet/MUSIC fan-out gets the
-    /// per-branch remainder of the thread budget.
+    /// Runs per-AP analysis on every AP, keeping successes.
+    ///
+    /// The (AP, packet) fan-out is flattened into one work list: per-packet
+    /// analysis dominates the cost, so the widest pool of independent units
+    /// feeds the *outermost* parallel map instead of nesting AP-level
+    /// workers over packet-level workers (4 APs used to cap the outer
+    /// level at 4 workers no matter the budget). Results regroup by AP in
+    /// packet order afterwards, so the output is identical to the nested
+    /// fan-out at every thread count.
     pub fn analyze_all(&self, aps: &[ApPackets]) -> Result<Vec<ApAnalysis>> {
-        let (workers, inner) = self.config.runtime.split(aps.len());
-        let analyses: Vec<ApAnalysis> = parallel_map(aps.len(), workers, |i| {
-            self.analyze_ap_budgeted(&aps[i], inner).ok()
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        let units: Vec<(usize, usize)> = aps
+            .iter()
+            .enumerate()
+            .flat_map(|(a, ap)| (0..ap.packets.len()).map(move |p| (a, p)))
+            .collect();
+        let (workers, inner) = self.config.runtime.split(units.len());
+        let per_packet: Vec<Result<Vec<PathEstimate>>> = parallel_map_with(
+            units.len(),
+            workers,
+            || PacketScratch::new(&self.config),
+            |scratch, i| {
+                let (a, p) = units[i];
+                self.analyze_packet_with(&aps[a].packets[p], inner.threads(), scratch)
+            },
+        );
+        let mut results = per_packet.into_iter();
+        let analyses: Vec<ApAnalysis> = aps
+            .iter()
+            .filter_map(|ap| {
+                let chunk: Vec<_> = results.by_ref().take(ap.packets.len()).collect();
+                self.assemble_ap(ap, chunk).ok()
+            })
+            .collect();
         if analyses.is_empty() {
             return Err(SpotFiError::InsufficientAps { usable: 0 });
         }

@@ -13,7 +13,10 @@
 //!
 //! * [`c64`] — a complex double with full arithmetic ([`complex`]).
 //! * [`CMat`] — dense column-major complex matrices ([`matrix`]).
-//! * [`eigen`] — complex Hermitian eigendecomposition via cyclic Jacobi.
+//! * [`eigen`] — complex Hermitian eigendecomposition via cyclic Jacobi
+//!   (the cross-validation oracle).
+//! * [`eigen_tridiag`] — Householder tridiagonalization + implicit-shift QL
+//!   with partial eigenvector extraction (the MUSIC hot path).
 //! * [`realmat`] — small real matrices, linear solves, least squares.
 //! * [`unwrap`] — 1-D phase unwrapping.
 //! * [`optimize`] — golden section, Nelder–Mead, damped Gauss–Newton.
@@ -27,6 +30,7 @@ pub mod angles;
 pub mod complex;
 pub mod eigen;
 pub mod eigen_general;
+pub mod eigen_tridiag;
 pub mod linsolve;
 pub mod matrix;
 pub mod optimize;
@@ -38,6 +42,10 @@ pub use angles::{deg_to_rad, rad_to_deg, wrap_pi};
 pub use complex::c64;
 pub use eigen::{hermitian_eigen, HermitianEigen};
 pub use eigen_general::{general_eigen, general_eigenvalues};
+pub use eigen_tridiag::{
+    hermitian_eigen_partial, hermitian_eigen_partial_into, hermitian_eigen_partial_with,
+    PartialHermitianEigen, TridiagWorkspace,
+};
 pub use linsolve::{lstsq as complex_lstsq, solve as complex_solve};
 pub use matrix::CMat;
 pub use realmat::RMat;

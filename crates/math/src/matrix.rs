@@ -277,6 +277,14 @@ impl CMat {
     }
 }
 
+impl Default for CMat {
+    /// The empty `0 × 0` matrix — the natural seed for scratch buffers that
+    /// grow on first use (see [`reset_zeros`](CMat::reset_zeros)).
+    fn default() -> Self {
+        CMat::zeros(0, 0)
+    }
+}
+
 impl Index<(usize, usize)> for CMat {
     type Output = c64;
     #[inline]
