@@ -19,18 +19,20 @@
 //! 3. **End-to-end** — 4-AP × 10-packet localize at `threads = 1` and
 //!    `threads = 8`.
 //!
-//! `--baseline PATH` compares this run's `music_spectrum_cached_t1` median
-//! against a committed report and exits nonzero on a >25% regression (the
-//! CI smoke check).
+//! `--baseline PATH` compares this run's `music_spectrum_cached_t1`,
+//! `analyze_ap_10pkt_t1`, and `localize_4ap_10pkt_t1` medians against a
+//! committed report and exits nonzero on any >25% regression (the CI smoke
+//! check).
 
 use spotfi_bench::{bench, json_string, median_from_report, to_json, BenchConfig, BenchResult};
 use spotfi_channel::constants::DEFAULT_CARRIER_HZ;
 use spotfi_channel::{AntennaArray, CsiPacket, Floorplan, PacketTrace, Point, Rng, TraceConfig};
-use spotfi_core::music::{noise_projector_with, noise_subspace};
+use spotfi_core::music::{music_paths_coarse_to_fine, noise_projector_with, noise_subspace};
 use spotfi_core::steering::{omega_powers, phi};
 use spotfi_core::{
-    hardware_parallelism, music_spectrum_cached, sanitize_csi, smoothed_csi, smoothed_csi_into,
-    ApPackets, MusicScratch, MusicSpectrum, RuntimeConfig, SpotFi, SpotFiConfig, SteeringCache,
+    find_peaks_filtered, hardware_parallelism, music_spectrum_cached, sanitize_csi, smoothed_csi,
+    smoothed_csi_into, ApPackets, MusicScratch, MusicSpectrum, RuntimeConfig, SpotFi, SpotFiConfig,
+    SteeringCache, SweepStrategy,
 };
 use spotfi_math::eigen::hermitian_eigen;
 use spotfi_math::eigen_tridiag::{hermitian_eigen_partial_into, TridiagWorkspace};
@@ -215,6 +217,28 @@ fn main() {
             .fold(0.0f64, f64::max);
         assert!(max_rel < 1e-6, "spectrum mismatch vs baseline: {}", max_rel);
         eprintln!("baseline agreement: max relative deviation {:.2e}", max_rel);
+
+        // And the coarse-to-fine search must find the dense sweep's peaks
+        // (same count, identical powers) before we publish its timing.
+        let dense = find_peaks_filtered(
+            &opt,
+            spotfi_cfg.music.max_paths,
+            spotfi_cfg.music.min_relative_peak_power,
+        );
+        let sparse = music_paths_coarse_to_fine(&smoothed, &spotfi_cfg, &cache, &mut scratch)
+            .expect("coarse-to-fine search");
+        assert_eq!(
+            sparse.paths.len(),
+            dense.len(),
+            "coarse-to-fine peak count diverged from dense sweep"
+        );
+        for (s, d) in sparse.paths.iter().zip(dense.iter()) {
+            assert_eq!(s.power, d.power, "coarse-to-fine found a different peak");
+        }
+        eprintln!(
+            "sweep agreement: coarse-to-fine reproduces all {} dense peaks",
+            dense.len()
+        );
     }
 
     let mut results: Vec<BenchResult> = Vec::new();
@@ -268,6 +292,11 @@ fn main() {
             music_spectrum_cached(&smoothed, &spotfi_cfg, &cache, 8, &mut scratch).unwrap(),
         );
     });
+    run("music_paths_coarse_to_fine_t1", &cfg, &mut || {
+        std::hint::black_box(
+            music_paths_coarse_to_fine(&smoothed, &spotfi_cfg, &cache, &mut scratch).unwrap(),
+        );
+    });
     run("music_spectrum_seed_equivalent", &cfg, &mut || {
         std::hint::black_box(seed_equivalent_music_spectrum(&smoothed, &spotfi_cfg));
     });
@@ -276,6 +305,19 @@ fn main() {
     let serial = spotfi_with_threads(1);
     run("analyze_ap_10pkt_t1", &e2e_cfg, &mut || {
         std::hint::black_box(serial.analyze_ap(&aps[0]).unwrap());
+    });
+    // Same AP with the dense reference sweep, to keep the strategy
+    // comparison visible in every report.
+    let dense_serial = SpotFi::new(SpotFiConfig {
+        runtime: RuntimeConfig::with_threads(1),
+        music: spotfi_core::MusicConfig {
+            sweep: SweepStrategy::Dense,
+            ..SpotFiConfig::default().music
+        },
+        ..SpotFiConfig::default()
+    });
+    run("analyze_ap_10pkt_dense_t1", &e2e_cfg, &mut || {
+        std::hint::black_box(dense_serial.analyze_ap(&aps[0]).unwrap());
     });
     run("localize_4ap_10pkt_t1", &e2e_cfg, &mut || {
         std::hint::black_box(serial.localize(&aps).unwrap());
@@ -327,6 +369,10 @@ fn main() {
             "tof_grid_points",
             spotfi_cfg.music.tof_grid_ns.len().to_string(),
         ),
+        (
+            "sweep_strategy",
+            json_string(&format!("{:?}", spotfi_cfg.music.sweep)),
+        ),
         ("aps", "4".to_string()),
         ("packets_per_ap", "10".to_string()),
         (
@@ -351,16 +397,28 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--baseline") {
         let path = args.get(i + 1).expect("--baseline requires a path");
         let committed = std::fs::read_to_string(path).expect("read baseline report");
-        let base = median_from_report(&committed, "music_spectrum_cached_t1")
-            .expect("baseline report lacks music_spectrum_cached_t1");
-        let ratio = music_opt / base;
-        eprintln!(
-            "smoke check: music_spectrum_cached_t1 {:.0} ns vs committed baseline {:.0} ns \
-             ({:.2}x)",
-            music_opt, base, ratio
-        );
-        if ratio > 1.25 {
-            eprintln!("FAIL: music_spectrum_cached_t1 regressed >25% vs the committed baseline");
+        let mut failed = false;
+        for name in [
+            "music_spectrum_cached_t1",
+            "analyze_ap_10pkt_t1",
+            "localize_4ap_10pkt_t1",
+        ] {
+            let Some(base) = median_from_report(&committed, name) else {
+                eprintln!("smoke check: baseline report lacks {}; skipping", name);
+                continue;
+            };
+            let now = median_of(&results, name);
+            let ratio = now / base;
+            eprintln!(
+                "smoke check: {} {:.0} ns vs committed baseline {:.0} ns ({:.2}x)",
+                name, now, base, ratio
+            );
+            if ratio > 1.25 {
+                eprintln!("FAIL: {} regressed >25% vs the committed baseline", name);
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

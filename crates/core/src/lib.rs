@@ -65,17 +65,20 @@ pub mod steering;
 pub mod tracking;
 
 pub use cluster::{cluster_estimates, Clustering, PathCluster};
-pub use config::{Estimator, GridSpec, LikelihoodWeights, MusicConfig, SpotFiConfig};
+pub use config::{
+    Estimator, GridSpec, LikelihoodWeights, MusicConfig, SpotFiConfig, SweepStrategy,
+};
 pub use error::{Result, SpotFiError};
 pub use esprit::esprit_paths;
 pub use likelihood::{score_clusters, select_direct_path, DirectPath};
 pub use localize::{localize, ApMeasurement, LocationEstimate, SearchBounds};
 pub use music::{
-    music_spectrum, music_spectrum_cached, noise_projector_with, noise_subspace,
-    noise_subspace_with, MusicScratch, MusicSpectrum, NoiseSubspace,
+    music_paths_coarse_to_fine, music_spectrum, music_spectrum_cached, noise_projector_with,
+    noise_subspace, noise_subspace_with, prepare_music_evaluation, pseudospectrum_at,
+    CoarseFinePaths, MusicScratch, MusicSpectrum, NoiseSubspace,
 };
 pub use pathloss::PathLossModel;
-pub use peaks::{find_peaks, find_peaks_filtered, PathEstimate};
+pub use peaks::{find_peaks, find_peaks_filtered, paraboloid_offset, PathEstimate};
 pub use pipeline::{ApAnalysis, ApPackets, PacketScratch, SpotFi};
 pub use runtime::{hardware_parallelism, parallel_map, parallel_map_with, RuntimeConfig};
 pub use sanitize::{sanitize_csi, SanitizedCsi};

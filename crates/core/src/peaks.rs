@@ -1,11 +1,46 @@
 //! 2-D peak extraction from the MUSIC pseudospectrum (Algorithm 2, step 7).
 //!
 //! Paths are local maxima of `P(θ, τ)`. We find strict 8-neighborhood local
-//! maxima on the grid, refine each peak to sub-grid resolution with
-//! independent 1-D quadratic interpolation in log-power (MUSIC peaks are
-//! near-parabolic in log domain), and return the strongest `max_paths`.
+//! maxima on the grid, refine each peak to sub-grid resolution with a
+//! 9-point 2-D paraboloid fit in log-power (MUSIC peaks are near-parabolic
+//! in log domain, and the joint fit handles the diagonally-elongated ridges
+//! that bias two independent per-axis parabolas), and return the strongest
+//! `max_paths`. The same paraboloid fit drives the coarse-to-fine sweep's
+//! off-grid Newton polish ([`crate::music`]).
 
 use crate::music::MusicSpectrum;
+
+/// Least-squares paraboloid fit over a 3×3 stencil of log-power values:
+/// returns the sub-cell offset `(dx, dy)` of the fitted maximum, in stencil
+/// step units, each clamped to `[−1, 1]`.
+///
+/// `s[i][j]` holds the value at offset `(i − 1, j − 1)` from the stencil
+/// center. The fit is the standard 9-point least-squares quadratic
+/// `f ≈ c + gᵀd + ½·dᵀH·d`; the maximum `d = −H⁻¹g` only exists when the
+/// Hessian is negative definite — on a saddle, ridge, or plateau the fit
+/// has no interior maximum and `None` is returned (callers keep the
+/// stencil center).
+///
+/// Unlike two independent 1-D parabolas, the joint fit carries the cross
+/// term `hxy`, so a peak ridge running diagonally through the stencil pulls
+/// the estimate along the ridge instead of biasing each axis separately.
+pub fn paraboloid_offset(s: &[[f64; 3]; 3]) -> Option<(f64, f64)> {
+    let col = |i: usize| s[i][0] + s[i][1] + s[i][2];
+    let row = |j: usize| s[0][j] + s[1][j] + s[2][j];
+    let gx = (col(2) - col(0)) / 6.0;
+    let gy = (row(2) - row(0)) / 6.0;
+    let hxx = (col(2) + col(0) - 2.0 * col(1)) / 3.0;
+    let hyy = (row(2) + row(0) - 2.0 * row(1)) / 3.0;
+    let hxy = (s[2][2] - s[2][0] - s[0][2] + s[0][0]) / 4.0;
+    let det = hxx * hyy - hxy * hxy;
+    // Maximum requires a negative-definite Hessian: hxx < 0 and det > 0.
+    if hxx >= -1e-12 || det <= 1e-24 {
+        return None;
+    }
+    let dx = (-gx * hyy + gy * hxy) / det;
+    let dy = (-gy * hxx + gx * hxy) / det;
+    Some((dx.clamp(-1.0, 1.0), dy.clamp(-1.0, 1.0)))
+}
 
 /// One estimated propagation path.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -96,33 +131,28 @@ pub fn find_peaks(spec: &MusicSpectrum, max_peaks: usize) -> Vec<PathEstimate> {
         .collect()
 }
 
-/// Quadratic sub-grid refinement of a peak, independently per axis, in
-/// log-power.
+/// Sub-grid refinement of a grid peak: the shared 9-point 2-D paraboloid
+/// fit in log-power ([`paraboloid_offset`]) over the peak's 8-neighborhood.
+/// Boundary peaks and degenerate (non-negative-definite) stencils keep the
+/// grid coordinates.
 fn refine(spec: &MusicSpectrum, ia: usize, it: usize) -> (f64, f64) {
     let na = spec.aoa_grid.len();
     let nt = spec.tof_grid.len();
-    let lv = |a: usize, t: usize| spec.at(a, t).max(1e-300).ln();
-
     let mut aoa = spec.aoa_grid.value(ia);
-    if ia > 0 && ia + 1 < na {
-        let (l, c, r) = (lv(ia - 1, it), lv(ia, it), lv(ia + 1, it));
-        let denom = l - 2.0 * c + r;
-        if denom < -1e-12 {
-            let offset = 0.5 * (l - r) / denom;
-            aoa += offset.clamp(-1.0, 1.0) * spec.aoa_grid.step;
-        }
-    }
-
     let mut tof = spec.tof_grid.value(it);
-    if it > 0 && it + 1 < nt {
-        let (l, c, r) = (lv(ia, it - 1), lv(ia, it), lv(ia, it + 1));
-        let denom = l - 2.0 * c + r;
-        if denom < -1e-12 {
-            let offset = 0.5 * (l - r) / denom;
-            tof += offset.clamp(-1.0, 1.0) * spec.tof_grid.step;
+    if ia > 0 && ia + 1 < na && it > 0 && it + 1 < nt {
+        let lv = |a: usize, t: usize| spec.at(a, t).max(1e-300).ln();
+        let mut s = [[0.0f64; 3]; 3];
+        for (di, row) in s.iter_mut().enumerate() {
+            for (dj, v) in row.iter_mut().enumerate() {
+                *v = lv(ia + di - 1, it + dj - 1);
+            }
+        }
+        if let Some((dx, dy)) = paraboloid_offset(&s) {
+            aoa += dx * spec.aoa_grid.step;
+            tof += dy * spec.tof_grid.step;
         }
     }
-
     (aoa, tof)
 }
 
@@ -152,6 +182,60 @@ mod tests {
             }
         }
         MusicSpectrum::new(aoa_grid, tof_grid, values, bumps.len())
+    }
+
+    /// Stencil of an exact quadratic `c + gᵀd + ½dᵀHd`.
+    fn quad_stencil(g: (f64, f64), h: (f64, f64, f64)) -> [[f64; 3]; 3] {
+        let (gx, gy) = g;
+        let (hxx, hxy, hyy) = h;
+        let mut s = [[0.0f64; 3]; 3];
+        for (i, row) in s.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                let (x, y) = (i as f64 - 1.0, j as f64 - 1.0);
+                *v = gx * x + gy * y + 0.5 * (hxx * x * x + hyy * y * y) + hxy * x * y;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn paraboloid_recovers_exact_quadratic_maximum() {
+        // Maximum of the quadratic at d = −H⁻¹g; with a diagonal cross
+        // term the axis-separable 1-D fits would be biased, the joint fit
+        // is exact (the LS fit of an exact quadratic reproduces it).
+        let h = (-4.0, -1.2, -2.0);
+        let truth = (0.3, -0.2);
+        // g = −H·d_truth.
+        let g = (
+            -(h.0 * truth.0 + h.1 * truth.1),
+            -(h.1 * truth.0 + h.2 * truth.1),
+        );
+        let (dx, dy) = paraboloid_offset(&quad_stencil(g, h)).expect("negative definite");
+        assert!((dx - truth.0).abs() < 1e-12, "dx {}", dx);
+        assert!((dy - truth.1).abs() < 1e-12, "dy {}", dy);
+        // The independent 1-D parabola along x (holding y = 0) lands at
+        // −gx/hxx ≠ truth when hxy ≠ 0 — the bias the 2-D fit removes.
+        let axis_dx = -g.0 / h.0;
+        assert!((axis_dx - truth.0).abs() > 0.05, "axis fit {}", axis_dx);
+    }
+
+    #[test]
+    fn paraboloid_rejects_saddles_and_ridges() {
+        // Saddle: hxx < 0 but det < 0.
+        assert!(paraboloid_offset(&quad_stencil((0.1, 0.1), (-2.0, 0.0, 1.0))).is_none());
+        // Upward curvature.
+        assert!(paraboloid_offset(&quad_stencil((0.0, 0.0), (2.0, 0.0, 1.0))).is_none());
+        // Flat plateau.
+        assert!(paraboloid_offset(&[[0.0; 3]; 3]).is_none());
+    }
+
+    #[test]
+    fn paraboloid_offsets_are_clamped_to_one_cell() {
+        // Steep gradient, tiny curvature: the unclamped maximum is far
+        // outside the stencil.
+        let (dx, dy) = paraboloid_offset(&quad_stencil((1.0, -1.0), (-0.1, 0.0, -0.1))).unwrap();
+        assert_eq!(dx, 1.0);
+        assert_eq!(dy, -1.0);
     }
 
     #[test]

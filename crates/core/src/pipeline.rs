@@ -36,12 +36,13 @@ use spotfi_math::CMat;
 
 use crate::cluster::{cluster_estimates, Clustering};
 use crate::config::SpotFiConfig;
+use crate::config::SweepStrategy;
 use crate::error::{Result, SpotFiError};
 use crate::likelihood::{select_direct_path, DirectPath};
 use crate::localize::{
     localize, localize_in_bounds, ApMeasurement, LocationEstimate, SearchBounds,
 };
-use crate::music::{music_spectrum_cached, MusicScratch};
+use crate::music::{music_paths_coarse_to_fine, music_spectrum_cached, MusicScratch};
 use crate::peaks::{find_peaks_filtered, PathEstimate};
 use crate::runtime::{parallel_map_with, RuntimeConfig};
 use crate::sanitize::sanitize_csi;
@@ -157,20 +158,31 @@ impl SpotFi {
         let sanitized = sanitize_csi(&packet.csi, self.config.ofdm.subcarrier_spacing_hz)?;
         smoothed_csi_into(&sanitized.csi, &self.config, &mut scratch.smoothed)?;
         let peaks = match self.config.estimator {
-            crate::config::Estimator::Music => {
-                let spec = music_spectrum_cached(
-                    &scratch.smoothed,
-                    &self.config,
-                    &self.cache,
-                    music_threads,
-                    &mut scratch.music,
-                )?;
-                find_peaks_filtered(
-                    &spec,
-                    self.config.music.max_paths,
-                    self.config.music.min_relative_peak_power,
-                )
-            }
+            crate::config::Estimator::Music => match self.config.music.sweep {
+                SweepStrategy::CoarseToFine { .. } => {
+                    music_paths_coarse_to_fine(
+                        &scratch.smoothed,
+                        &self.config,
+                        &self.cache,
+                        &mut scratch.music,
+                    )?
+                    .paths
+                }
+                SweepStrategy::Dense => {
+                    let spec = music_spectrum_cached(
+                        &scratch.smoothed,
+                        &self.config,
+                        &self.cache,
+                        music_threads,
+                        &mut scratch.music,
+                    )?;
+                    find_peaks_filtered(
+                        &spec,
+                        self.config.music.max_paths,
+                        self.config.music.min_relative_peak_power,
+                    )
+                }
+            },
             crate::config::Estimator::Esprit => {
                 crate::esprit::esprit_paths(&scratch.smoothed, &self.config)?
             }

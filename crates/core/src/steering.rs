@@ -59,14 +59,36 @@ pub fn steering_vector(
 /// Powers `Ω(τ)^0 .. Ω(τ)^{n−1}` — one antenna's row of the steering
 /// structure, used by the factored MUSIC spectrum evaluation.
 pub fn omega_powers(tof_s: f64, n_sub: usize, subcarrier_spacing_hz: f64) -> Vec<c64> {
+    let mut out = vec![c64::ZERO; n_sub];
+    omega_powers_into(tof_s, subcarrier_spacing_hz, &mut out);
+    out
+}
+
+/// [`omega_powers`] into a caller-owned buffer: one `cis` for the step,
+/// then the repeated-multiplication recurrence — no per-subcarrier
+/// transcendental. This is what makes off-grid point evaluation of the
+/// MUSIC pseudospectrum cheap enough for the coarse-to-fine sweep's polish
+/// stage.
+#[inline]
+pub fn omega_powers_into(tof_s: f64, subcarrier_spacing_hz: f64, out: &mut [c64]) {
     let step = omega(tof_s, subcarrier_spacing_hz);
-    let mut out = Vec::with_capacity(n_sub);
     let mut w = c64::ONE;
-    for _ in 0..n_sub {
-        out.push(w);
+    for o in out.iter_mut() {
+        *o = w;
         w *= step;
     }
-    out
+}
+
+/// Powers `Φ(θ)^0 .. Φ^{m−1}` into a caller-owned buffer, by the same
+/// one-`cis`-then-recurrence scheme as [`omega_powers_into`].
+#[inline]
+pub fn phi_powers_into(sin_theta: f64, spacing_m: f64, carrier_hz: f64, out: &mut [c64]) {
+    let step = phi(sin_theta, spacing_m, carrier_hz);
+    let mut cur = c64::ONE;
+    for o in out.iter_mut() {
+        *o = cur;
+        cur *= step;
+    }
 }
 
 /// Precomputed steering-vector factors for one `SpotFiConfig`'s MUSIC grid.
@@ -101,25 +123,15 @@ impl SteeringCache {
         let tof = cfg.music.tof_grid_ns;
         let spacing = half_wavelength_spacing(cfg.ofdm.carrier_hz);
 
-        let mut phi_pows = Vec::with_capacity(aoa.len() * ms);
-        for ia in 0..aoa.len() {
+        let mut phi_pows = vec![c64::ZERO; aoa.len() * ms];
+        for (ia, row) in phi_pows.chunks_exact_mut(ms).enumerate() {
             let theta = aoa.value(ia).to_radians();
-            let step = phi(theta.sin(), spacing, cfg.ofdm.carrier_hz);
-            let mut cur = c64::ONE;
-            for _ in 0..ms {
-                phi_pows.push(cur);
-                cur *= step;
-            }
+            phi_powers_into(theta.sin(), spacing, cfg.ofdm.carrier_hz, row);
         }
-        let mut omega_pows = Vec::with_capacity(tof.len() * ns);
-        for it in 0..tof.len() {
+        let mut omega_pows = vec![c64::ZERO; tof.len() * ns];
+        for (it, row) in omega_pows.chunks_exact_mut(ns).enumerate() {
             let tau = tof.value(it) * 1e-9;
-            let step = omega(tau, cfg.ofdm.subcarrier_spacing_hz);
-            let mut w = c64::ONE;
-            for _ in 0..ns {
-                omega_pows.push(w);
-                w *= step;
-            }
+            omega_powers_into(tau, cfg.ofdm.subcarrier_spacing_hz, row);
         }
         SteeringCache {
             n_aoa: aoa.len(),
@@ -234,6 +246,24 @@ mod tests {
         // All unit modulus.
         for z in &v {
             assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_buffers_match_allocating_forms() {
+        let tau = 37.5e-9;
+        let mut wbuf = [c64::ZERO; 15];
+        omega_powers_into(tau, INTEL5300_SUBCARRIER_SPACING_HZ, &mut wbuf);
+        let expect = omega_powers(tau, 15, INTEL5300_SUBCARRIER_SPACING_HZ);
+        assert_eq!(&wbuf[..], &expect[..]);
+
+        let mut pbuf = [c64::ZERO; 3];
+        phi_powers_into(0.37, SPACING, DEFAULT_CARRIER_HZ, &mut pbuf);
+        let step = phi(0.37, SPACING, DEFAULT_CARRIER_HZ);
+        let mut cur = c64::ONE;
+        for (m, got) in pbuf.iter().enumerate() {
+            assert_eq!(*got, cur, "phi power {}", m);
+            cur *= step;
         }
     }
 
