@@ -327,6 +327,72 @@ fn main() {
         std::hint::black_box(threaded.localize(&aps).unwrap());
     });
 
+    // --- Observability -----------------------------------------------------
+    // One recorder-enabled analyze_ap run, folded into the report meta so
+    // every committed bench carries a per-stage time profile alongside the
+    // end-to-end medians.
+    spotfi_obs::reset();
+    spotfi_obs::set_enabled(true);
+    {
+        let _total = spotfi_obs::span("total");
+        std::hint::black_box(serial.analyze_ap(&aps[0]).unwrap());
+    }
+    spotfi_obs::set_enabled(false);
+    let obs_snap = spotfi_obs::snapshot();
+    let obs_updates = obs_snap.total_updates();
+    let stage_breakdown = {
+        let mut s = String::from("{");
+        let mut first = true;
+        for (name, m) in &obs_snap.metrics {
+            if m.kind == spotfi_obs::Kind::Time {
+                if !first {
+                    s.push_str(", ");
+                }
+                first = false;
+                s.push_str(&format!("{}: {}", json_string(name), m.total));
+            }
+        }
+        s.push('}');
+        s
+    };
+
+    // Disabled-path overhead guard: every instrumentation point costs one
+    // relaxed atomic load when the recorder is off. Measure that per-call
+    // cost directly, multiply by the number of record calls one analyze_ap
+    // makes (a strict upper bound on disabled-path touches per run, since a
+    // span is two touches but also two timed updates elsewhere dominate),
+    // and require the bound to stay under 2% of the measured analyze median.
+    // An analytic bound avoids a flaky wall-clock A/B in CI.
+    let disabled_ns_per_call = {
+        assert!(!spotfi_obs::enabled(), "recorder must be off for the probe");
+        let iters = 4_000_000u64;
+        let t0 = std::time::Instant::now();
+        for i in 0..iters {
+            spotfi_obs::counter("bench.disabled_probe", std::hint::black_box(i));
+        }
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    };
+    let analyze_t1 = median_of(&results, "analyze_ap_10pkt_t1");
+    // A span touches the disabled check twice (construction + drop).
+    let disabled_touches = 2 * obs_updates;
+    let obs_overhead_bound = disabled_ns_per_call * disabled_touches as f64 / analyze_t1;
+    eprintln!(
+        "observability: {} record calls per analyze_ap; disabled path {:.2} ns/call; \
+         overhead bound {:.4}% of analyze_ap_10pkt_t1",
+        obs_updates,
+        disabled_ns_per_call,
+        100.0 * obs_overhead_bound
+    );
+    assert!(
+        obs_overhead_bound <= 0.02,
+        "recorder-disabled overhead bound {:.3}% exceeds the 2% budget \
+         ({} touches × {:.2} ns vs {:.0} ns analyze median)",
+        100.0 * obs_overhead_bound,
+        disabled_touches,
+        disabled_ns_per_call,
+        analyze_t1
+    );
+
     // --- Report ------------------------------------------------------------
     let t1 = median_of(&results, "localize_4ap_10pkt_t1");
     let t8 = median_of(&results, "localize_4ap_10pkt_t8");
@@ -380,6 +446,16 @@ fn main() {
             format!("{:.3}", music_seed / music_opt),
         ),
         ("e2e_speedup_t8_vs_t1", format!("{:.3}", t1 / t8)),
+        ("stage_breakdown_ns", stage_breakdown),
+        ("obs_updates_per_analyze", obs_updates.to_string()),
+        (
+            "obs_disabled_ns_per_call",
+            format!("{:.3}", disabled_ns_per_call),
+        ),
+        (
+            "obs_disabled_overhead_bound",
+            format!("{:.6}", obs_overhead_bound),
+        ),
     ];
     let json = to_json(&meta, &results);
     std::fs::write(&out_path, &json).expect("write benchmark report");

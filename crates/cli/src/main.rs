@@ -36,15 +36,24 @@ USAGE:
       Simulate a capture and write it in Linux 802.11n CSI Tool format.
 
   spotfi analyze <capture.dat> [--ap x,y] [--normal <deg>] [--threads N]
+                 [--diagnostics out.json]
       Parse a CSI Tool trace and run SpotFi's per-AP analysis
       (AP position/orientation default to the origin facing +y).
 
   spotfi scenario [office|nlos|corridor] [--targets N] [--packets N] [--threads N]
+                  [--diagnostics out.json]
       Run a full localization scenario (SpotFi vs ArrayTrack) and print
       the error table.
 
+  spotfi check-diagnostics <diagnostics.json>
+      Validate a --diagnostics export: schema keys present, stage span
+      durations consistent with the total span (CI uses this).
+
   --threads N selects the worker-thread budget (default: all cores;
   1 = serial reference path; results are identical at any setting).
+  --diagnostics PATH enables the observability recorder for the run and
+  writes per-stage span timings and pipeline counters as JSON; estimates
+  are bit-identical with the recorder on or off.
 
   spotfi help
       Show this message.
@@ -66,7 +75,15 @@ fn run() -> Result<(), ArgError> {
     let args = Args::parse(
         raw,
         &[
-            "out", "target", "packets", "seed", "ap", "normal", "targets", "threads",
+            "out",
+            "target",
+            "packets",
+            "seed",
+            "ap",
+            "normal",
+            "targets",
+            "threads",
+            "diagnostics",
         ],
     )?;
     match args.positional(0).unwrap_or("help") {
@@ -74,6 +91,7 @@ fn run() -> Result<(), ArgError> {
         "simulate" => cmd_simulate(&args),
         "analyze" => cmd_analyze(&args),
         "scenario" => cmd_scenario(&args),
+        "check-diagnostics" => cmd_check_diagnostics(&args),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(())
@@ -198,10 +216,15 @@ fn cmd_analyze(args: &Args) -> Result<(), ArgError> {
     if let Some(t) = args.parsed::<usize>("threads")? {
         cfg.runtime = spotfi_core::RuntimeConfig::with_threads(t);
     }
+    let diagnostics = diagnostics_begin(args);
+    let threads = cfg.runtime.effective_threads();
     let spotfi = SpotFi::new(cfg);
-    let analysis = spotfi
-        .analyze_ap(&ApPackets { array, packets })
-        .map_err(|e| ArgError(format!("analysis failed: {}", e)))?;
+    let analysis = {
+        let _total = spotfi_obs::span("total");
+        spotfi.analyze_ap(&ApPackets { array, packets })
+    }
+    .map_err(|e| ArgError(format!("analysis failed: {}", e)))?;
+    diagnostics_end(diagnostics, "analyze", threads)?;
 
     println!(
         "\n{:>8} {:>9} {:>6} {:>7} {:>7}",
@@ -250,8 +273,21 @@ fn cmd_scenario(args: &Args) -> Result<(), ArgError> {
         runner_cfg.threads = t.max(1);
         runner_cfg.spotfi.runtime = spotfi_core::RuntimeConfig::with_threads(t);
     }
+    let diagnostics = diagnostics_begin(args);
+    // Report the runner's target-level worker count, not the inner
+    // pipeline budget: the validator's stage-sum/total ratio check is only
+    // meaningful when one thread did all the instrumented work.
+    let threads = if runner_cfg.threads > 0 {
+        runner_cfg.threads
+    } else {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    };
     let runner = Runner::new(scenario, runner_cfg);
-    let records = runner.run_localization();
+    let records = {
+        let _total = spotfi_obs::span("total");
+        runner.run_localization()
+    };
+    diagnostics_end(diagnostics, "scenario", threads)?;
     println!(
         "\n{:<12} {:>8} {:>12} {:>7}",
         "target", "spotfi", "arraytrack", "heard"
@@ -280,6 +316,64 @@ fn cmd_scenario(args: &Args) -> Result<(), ArgError> {
             spotfi_math::stats::median(&at_errs),
         );
     }
+    Ok(())
+}
+
+/// Enables the observability recorder when `--diagnostics PATH` was given;
+/// returns the output path. The caller wraps the analyzed work in a
+/// `span("total")` and finishes with [`diagnostics_end`].
+fn diagnostics_begin(args: &Args) -> Option<String> {
+    let path = args.value("diagnostics").map(str::to_string);
+    if path.is_some() {
+        spotfi_obs::reset();
+        spotfi_obs::set_enabled(true);
+    }
+    path
+}
+
+/// Snapshots the recorder, writes the `spotfi-diagnostics-v1` JSON to
+/// `path`, and prints the stage breakdown table. No-op when `--diagnostics`
+/// was not given.
+fn diagnostics_end(path: Option<String>, command: &str, threads: usize) -> Result<(), ArgError> {
+    let Some(path) = path else { return Ok(()) };
+    spotfi_obs::set_enabled(false);
+    let snap = spotfi_obs::snapshot();
+    let meta = [
+        ("command", format!("\"{}\"", command)),
+        ("threads", threads.to_string()),
+        ("wall_ns", snap.time_total_ns("total").to_string()),
+    ];
+    let json = snap.to_diagnostics_json(&meta);
+    std::fs::write(&path, &json).map_err(|e| ArgError(format!("writing {}: {}", path, e)))?;
+    println!("\nwrote diagnostics to {}", path);
+    print!(
+        "\n{}",
+        spotfi_testbed::report::render_stage_breakdown(&snap)
+    );
+    Ok(())
+}
+
+fn cmd_check_diagnostics(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown_flags(&[])?;
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("check-diagnostics needs a diagnostics JSON file".into()))?;
+    let json =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {}: {}", path, e)))?;
+    let summary = spotfi_obs::validate_diagnostics(&json)
+        .map_err(|e| ArgError(format!("{}: invalid diagnostics: {}", path, e)))?;
+    println!(
+        "{}: ok ({} spans, {} counters, stage sum {:.3} ms / total {:.3} ms{})",
+        path,
+        summary.spans,
+        summary.counters,
+        summary.stage_sum_ns as f64 / 1e6,
+        summary.total_ns as f64 / 1e6,
+        match summary.threads {
+            Some(t) => format!(", threads {}", t),
+            None => String::new(),
+        }
+    );
     Ok(())
 }
 

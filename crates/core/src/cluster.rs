@@ -93,6 +93,11 @@ pub fn cluster_estimates(
     k: usize,
     max_iterations: usize,
 ) -> Clustering {
+    let _span = spotfi_obs::span("stage.cluster");
+    if spotfi_obs::enabled() {
+        spotfi_obs::counter("cluster.runs", 1);
+        spotfi_obs::counter("cluster.estimates_in", estimates.len() as u64);
+    }
     let norm = Normalization::fit(estimates);
     if estimates.is_empty() || k == 0 {
         return Clustering {
@@ -139,7 +144,9 @@ pub fn cluster_estimates(
 
     // Lloyd iterations.
     let mut assignment = vec![0usize; pts.len()];
+    let mut lloyd_iterations = 0u64;
     for _ in 0..max_iterations {
+        lloyd_iterations += 1;
         let mut changed = false;
         for (i, &p) in pts.iter().enumerate() {
             let best = (0..centers.len())
@@ -184,6 +191,7 @@ pub fn cluster_estimates(
             break;
         }
     }
+    spotfi_obs::counter("cluster.lloyd_iterations", lloyd_iterations);
 
     // Build cluster summaries.
     let mut clusters = Vec::new();

@@ -106,7 +106,15 @@ pub fn score_clusters(clustering: &Clustering, w: &LikelihoodWeights) -> Vec<Sco
 /// Picks the direct path: the highest-likelihood cluster (Algorithm 2,
 /// step 10). Returns `None` when there are no clusters.
 pub fn select_direct_path(clustering: &Clustering, w: &LikelihoodWeights) -> Option<DirectPath> {
+    let _span = spotfi_obs::span("stage.likelihood");
     let scored = score_clusters(clustering, w);
+    if spotfi_obs::enabled() {
+        spotfi_obs::counter("likelihood.clusters_scored", scored.len() as u64);
+        match scored.first() {
+            Some(s) => spotfi_obs::value("likelihood.direct_path_score", s.likelihood),
+            None => spotfi_obs::counter("likelihood.no_direct_path", 1),
+        }
+    }
     scored.first().map(|s| DirectPath {
         aoa_deg: s.aoa_deg,
         tof_ns: s.tof_ns,

@@ -129,11 +129,17 @@ pub fn localize_in_bounds(
     bounds: SearchBounds,
     cfg: &LocalizeConfig,
 ) -> Result<LocationEstimate> {
+    let _span = spotfi_obs::span("stage.localize");
     let usable: Vec<ApMeasurement> = aps.iter().copied().filter(|a| a.likelihood > 0.0).collect();
     if usable.len() < 2 {
+        spotfi_obs::counter("localize.insufficient_aps", 1);
         return Err(SpotFiError::InsufficientAps {
             usable: usable.len(),
         });
+    }
+    if spotfi_obs::enabled() {
+        spotfi_obs::counter("localize.solves", 1);
+        spotfi_obs::value("localize.usable_aps", usable.len() as f64);
     }
 
     // Fold link quality into the weights: estimator variance grows as SNR
@@ -184,8 +190,10 @@ pub fn localize_in_bounds(
     }
 
     // Local polish (bounded by clamping inside the objective).
+    let polish_evals = std::cell::Cell::new(0u64);
     let ([x, y], _) = nelder_mead_2d(
         |p| {
+            polish_evals.set(polish_evals.get() + 1);
             let q = bounds.clamp(p);
             objective_at(&aps_norm, Point::new(q[0], q[1]), cfg).0
         },
@@ -194,6 +202,10 @@ pub fn localize_in_bounds(
         cfg.polish_iterations,
         1e-10,
     );
+    if spotfi_obs::enabled() {
+        spotfi_obs::counter("localize.grid_evals", (nx * ny) as u64);
+        spotfi_obs::counter("localize.polish_evals", polish_evals.get());
+    }
     let refined = bounds.clamp([x, y]);
     let pos = Point::new(refined[0], refined[1]);
     let (cost, model) = objective_at(&aps_norm, pos, cfg);
@@ -204,6 +216,8 @@ pub fn localize_in_bounds(
         let (c, m) = objective_at(&aps_norm, best.0, cfg);
         (best.0, c, m)
     };
+
+    spotfi_obs::value("localize.cost", final_cost);
 
     Ok(LocationEstimate {
         position: final_pos,

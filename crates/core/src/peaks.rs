@@ -63,10 +63,12 @@ pub fn find_peaks_filtered(
     max_peaks: usize,
     min_rel_power: f64,
 ) -> Vec<PathEstimate> {
+    let _span = spotfi_obs::span("stage.peaks");
     let mut peaks = find_peaks(spec, max_peaks);
     if let Some(strongest) = peaks.first().map(|p| p.power) {
         peaks.retain(|p| p.power >= strongest * min_rel_power);
     }
+    spotfi_obs::counter("peaks.extracted", peaks.len() as u64);
     peaks
 }
 

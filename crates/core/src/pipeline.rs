@@ -188,8 +188,10 @@ impl SpotFi {
             }
         };
         if peaks.is_empty() {
+            spotfi_obs::counter("pipeline.packets_no_paths", 1);
             return Err(SpotFiError::NoPaths);
         }
+        spotfi_obs::counter("pipeline.packets_analyzed", 1);
         Ok(peaks)
     }
 
@@ -242,6 +244,10 @@ impl SpotFi {
             self.config.cluster.max_iterations,
         );
         let direct = select_direct_path(&clustering, &self.config.likelihood);
+        if spotfi_obs::enabled() {
+            spotfi_obs::counter("pipeline.aps_assembled", 1);
+            spotfi_obs::counter("pipeline.packets_dropped", dropped as u64);
+        }
         let rssi: Vec<f64> = ap.packets.iter().map(|p| p.rssi_dbm).collect();
         Ok(ApAnalysis {
             array: ap.array,

@@ -110,10 +110,19 @@ where
     F: Fn(&mut S, usize) -> T + Sync,
 {
     if threads <= 1 || n <= 1 {
+        if spotfi_obs::enabled() {
+            spotfi_obs::counter("runtime.serial_sections", 1);
+            spotfi_obs::value("runtime.section_items", n as f64);
+        }
         let mut scratch = init();
         return (0..n).map(|i| f(&mut scratch, i)).collect();
     }
     let workers = threads.min(n);
+    if spotfi_obs::enabled() {
+        spotfi_obs::counter("runtime.parallel_sections", 1);
+        spotfi_obs::counter("runtime.workers_spawned", workers as u64);
+        spotfi_obs::value("runtime.section_items", n as f64);
+    }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
@@ -132,8 +141,21 @@ where
                     if i >= n {
                         break;
                     }
+                    if out.is_empty() && spotfi_obs::enabled() {
+                        // Queue depth seen by this worker as it starts.
+                        spotfi_obs::value("runtime.queue_depth_at_start", (n - i) as f64);
+                    }
                     out.push((i, f(&mut scratch, i)));
                 }
+                if spotfi_obs::enabled() {
+                    // Per-worker utilization: items each worker processed.
+                    spotfi_obs::value("runtime.worker_items", out.len() as f64);
+                }
+                // Merge this worker's observability shard before the closure
+                // returns: the explicit join below does wait for thread-local
+                // destructors, but flushing here keeps the metrics contract
+                // independent of how the section is joined.
+                spotfi_obs::flush_thread();
                 out
             }));
         }

@@ -46,6 +46,21 @@ pub struct SanitizedCsi {
 /// assert!((s.estimated_sto_s * 1e9 - 63.66).abs() < 0.1);
 /// ```
 pub fn sanitize_csi(csi: &CMat, subcarrier_spacing_hz: f64) -> Result<SanitizedCsi> {
+    let _span = spotfi_obs::span("stage.sanitize");
+    let result = sanitize_csi_impl(csi, subcarrier_spacing_hz);
+    if spotfi_obs::enabled() {
+        match &result {
+            Ok(s) => {
+                spotfi_obs::counter("sanitize.packets_ok", 1);
+                spotfi_obs::value("sanitize.sto_ns", s.estimated_sto_s * 1e9);
+            }
+            Err(_) => spotfi_obs::counter("sanitize.packets_rejected", 1),
+        }
+    }
+    result
+}
+
+fn sanitize_csi_impl(csi: &CMat, subcarrier_spacing_hz: f64) -> Result<SanitizedCsi> {
     let (m_ant, n_sub) = csi.shape();
     if n_sub < 2 || m_ant == 0 {
         return Err(SpotFiError::DegenerateCsi);

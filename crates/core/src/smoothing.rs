@@ -30,6 +30,7 @@ pub fn smoothed_csi(csi: &CMat, cfg: &SpotFiConfig) -> Result<CMat> {
 /// [`smoothed_csi`] writing into a caller-owned buffer (resized as needed),
 /// so the per-packet pipeline can reuse one allocation across packets.
 pub fn smoothed_csi_into(csi: &CMat, cfg: &SpotFiConfig, out: &mut CMat) -> Result<()> {
+    let _span = spotfi_obs::span("stage.smooth");
     let (m_ant, n_sub) = csi.shape();
     let expect = cfg.csi_shape();
     if (m_ant, n_sub) != expect {

@@ -1,0 +1,106 @@
+//! Byte-level round-trip tests against a committed golden Intel 5300
+//! capture (`fixtures/golden_intel5300.dat`, written by
+//! `spotfi simulate --packets 4 --seed 2015`).
+//!
+//! The framing/bfee unit tests exercise record-level round-trips; these
+//! tests pin the *bytes*: the golden file parses to known field values and
+//! re-serializes byte-identically, so any change to the `.dat` framing or
+//! the bit-packed payload codec shows up as a fixture diff — exactly how a
+//! real capture from the CSI Tool would be affected.
+
+use spotfi_io::{read_dat, write_dat, BfeeRecord, ParseError};
+use spotfi_math::c64;
+
+const GOLDEN: &[u8] = include_bytes!("fixtures/golden_intel5300.dat");
+
+#[test]
+fn golden_capture_parses_to_pinned_fields() {
+    let (records, skipped) = read_dat(GOLDEN);
+    assert_eq!(skipped, 0, "golden capture contains no malformed records");
+    assert_eq!(records.len(), 4);
+
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.nrx, 3);
+        assert_eq!(r.ntx, 1);
+        assert_eq!(r.bfee_count, i as u16);
+        assert_eq!(r.timestamp_low, 100_000 * i as u32);
+        assert_eq!(r.noise, -92);
+        assert_eq!(r.agc, 30);
+        assert_eq!(r.antenna_sel, 0b100100);
+        assert!(r.extra_streams.is_empty());
+        // Every CSI component is an exact signed-8-bit integer.
+        for z in r.csi.as_slice() {
+            assert_eq!(z.re, z.re.round());
+            assert_eq!(z.im, z.im.round());
+            assert!((-128.0..=127.0).contains(&z.re) && (-128.0..=127.0).contains(&z.im));
+        }
+    }
+
+    // Spot-pinned payload values of the first record (independently
+    // decoded from the raw bytes when the fixture was committed).
+    let csi = &records[0].csi;
+    assert_eq!(csi[(0, 0)], c64::new(67.0, 31.0));
+    assert_eq!(csi[(1, 0)], c64::new(-30.0, -88.0));
+    assert_eq!(csi[(2, 29)], c64::new(32.0, 1.0));
+}
+
+#[test]
+fn golden_capture_reserializes_byte_identically() {
+    let (records, _) = read_dat(GOLDEN);
+    let rewritten = write_dat(&records);
+    assert_eq!(
+        rewritten, GOLDEN,
+        "parse → serialize must reproduce the golden capture byte for byte"
+    );
+}
+
+#[test]
+fn malformed_length_field_is_rejected_not_misparsed() {
+    // Corrupt the bfee length field of the first framed record (offset:
+    // 2 framing + 1 code + 16 into the record body).
+    let mut bytes = GOLDEN.to_vec();
+    bytes[2 + 1 + 16] = 0xFF;
+    let direct = BfeeRecord::parse(&bytes[3..2 + 213]);
+    assert!(matches!(direct, Err(ParseError::LengthMismatch { .. })));
+    // Stream-level reading skips it and still recovers the other three.
+    let (records, skipped) = read_dat(&bytes);
+    assert_eq!(skipped, 1);
+    assert_eq!(records.len(), 3);
+}
+
+#[test]
+fn garbage_payload_never_panics_and_yields_nothing() {
+    // A deterministic pseudo-random byte soup: whatever framing it happens
+    // to contain, the reader must neither panic nor fabricate a record
+    // with impossible dimensions.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let garbage: Vec<u8> = (0..4096)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 56) as u8
+        })
+        .collect();
+    let (records, _) = read_dat(&garbage);
+    for r in &records {
+        assert!((1..=3).contains(&r.nrx) && (1..=3).contains(&r.ntx));
+    }
+
+    // Garbage grafted after a valid prefix must not corrupt the prefix.
+    let mut mixed = GOLDEN[..2 + 213].to_vec();
+    mixed.extend_from_slice(&garbage[..100]);
+    let (records, _) = read_dat(&mixed);
+    assert!(!records.is_empty());
+    assert_eq!(records[0].bfee_count, 0);
+    assert_eq!(records[0].csi[(0, 0)], c64::new(67.0, 31.0));
+}
+
+#[test]
+fn truncated_golden_capture_drops_only_the_partial_tail() {
+    // Cut the capture mid-record, as a killed logger would.
+    let cut = GOLDEN.len() - 50;
+    let (records, skipped) = read_dat(&GOLDEN[..cut]);
+    assert_eq!(skipped, 0);
+    assert_eq!(records.len(), 3, "only the cut-off record may be lost");
+}

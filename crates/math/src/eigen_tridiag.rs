@@ -170,7 +170,7 @@ pub fn hermitian_eigen_partial_into(a: &CMat, k: usize, ws: &mut TridiagWorkspac
     ws.d_work.extend_from_slice(&ws.diag);
     ws.e_work.clear();
     ws.e_work.extend_from_slice(&ws.sub);
-    ql_implicit_eigenvalues(&mut ws.d_work, &mut ws.e_work);
+    let ql_sweeps = ql_implicit_eigenvalues(&mut ws.d_work, &mut ws.e_work);
     // Move the outputs out of `ws` while the solver still needs `&mut ws`.
     let mut values = std::mem::take(&mut ws.out_values);
     values.clear();
@@ -180,10 +180,16 @@ pub fn hermitian_eigen_partial_into(a: &CMat, k: usize, ws: &mut TridiagWorkspac
     // Top-k eigenvectors of T by inverse iteration, then back-transform.
     let mut vectors = std::mem::take(&mut ws.out_vectors);
     vectors.reset_zeros(n, k);
-    inverse_iteration(&values[..k], ws);
+    let reorth_events = inverse_iteration(&values[..k], ws);
     for j in 0..k {
         back_transform(j, ws);
         vectors.col_mut(j).copy_from_slice(&ws.z);
+    }
+
+    if spotfi_obs::enabled() {
+        spotfi_obs::counter("eigen.calls", 1);
+        spotfi_obs::counter("eigen.ql_sweeps", ql_sweeps);
+        spotfi_obs::counter("eigen.reorth_events", reorth_events);
     }
 
     ws.out_values = values;
@@ -341,10 +347,11 @@ fn tridiagonalize(a: &CMat, ws: &mut TridiagWorkspace) {
 /// # Panics
 /// Panics if an eigenvalue fails to converge in 50 iterations — which only
 /// happens for non-finite input, excluded by the caller's assertion.
-fn ql_implicit_eigenvalues(d: &mut [f64], e: &mut [f64]) {
+fn ql_implicit_eigenvalues(d: &mut [f64], e: &mut [f64]) -> u64 {
     let n = d.len();
+    let mut sweeps = 0u64;
     if n <= 1 {
-        return;
+        return sweeps;
     }
     // Convention: e[i] couples d[i] and d[i+1]; e[n−1] is a spare slot.
     e[n - 1] = 0.0;
@@ -365,6 +372,7 @@ fn ql_implicit_eigenvalues(d: &mut [f64], e: &mut [f64]) {
                 break;
             }
             iter += 1;
+            sweeps += 1;
             assert!(iter <= 50, "QL iteration failed to converge");
             // Implicit shift from the leading 2×2 of the active block.
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
@@ -401,6 +409,7 @@ fn ql_implicit_eigenvalues(d: &mut [f64], e: &mut [f64]) {
             e[m] = 0.0;
         }
     }
+    sweeps
 }
 
 /// Solves `(T − λI)·y = b` for the tridiagonal `(diag, sub)` by LU with
@@ -500,14 +509,17 @@ fn solve_shifted_tridiag(lambda: f64, ws: &mut TridiagWorkspace, b: &mut [f64]) 
 /// Inverse iteration on the tridiagonal `(ws.diag, ws.sub)` for each
 /// eigenvalue in `lambdas` (descending), with reorthogonalization against
 /// previous vectors of the same eigenvalue cluster. Results land in
-/// `ws.tvecs` (column-major `n × k`, unit norm).
-fn inverse_iteration(lambdas: &[f64], ws: &mut TridiagWorkspace) {
+/// `ws.tvecs` (column-major `n × k`, unit norm). Returns the number of
+/// Gram–Schmidt reorthogonalization projections performed inside
+/// eigenvalue clusters (0 when every eigenvalue is well separated).
+fn inverse_iteration(lambdas: &[f64], ws: &mut TridiagWorkspace) -> u64 {
     let n = ws.diag.len();
     let k = lambdas.len();
+    let mut reorth_events = 0u64;
     ws.tvecs.clear();
     ws.tvecs.resize(n * k, 0.0);
     if k == 0 {
-        return;
+        return reorth_events;
     }
     let norm = ws
         .diag
@@ -552,6 +564,7 @@ fn inverse_iteration(lambdas: &[f64], ws: &mut TridiagWorkspace) {
             // Orthogonalize within the cluster (twice is enough).
             for _ in 0..2 {
                 for p in cluster_start..j {
+                    reorth_events += 1;
                     let col = &ws.tvecs[p * n..(p + 1) * n];
                     let dot: f64 = col.iter().zip(ws.y.iter()).map(|(a, b)| a * b).sum();
                     for (yi, ci) in ws.y.iter_mut().zip(col.iter()) {
@@ -575,6 +588,7 @@ fn inverse_iteration(lambdas: &[f64], ws: &mut TridiagWorkspace) {
         let _ = converged;
         ws.tvecs[j * n..(j + 1) * n].copy_from_slice(&ws.y);
     }
+    reorth_events
 }
 
 /// Normalizes `v` to unit Euclidean norm, returning the pre-normalization

@@ -1,0 +1,780 @@
+#![warn(missing_docs)]
+
+//! # spotfi-obs
+//!
+//! Zero-dependency observability for the SpotFi pipeline.
+//!
+//! The recorder is a process-global aggregate fed by **per-thread shards**:
+//! every instrumented call site updates a map owned by the calling thread
+//! (no locks, no cross-thread traffic on the hot path), and a shard is
+//! merged into the global aggregate at the fork/join boundary of each
+//! parallel section — worker closures call [`flush_thread`] as their last
+//! action, which is sequenced before the scope join completes. (A thread
+//! that never flushes still merges via its shard's thread-local destructor
+//! at exit, but `std::thread::scope` does not wait for thread-local
+//! destructors, only for the closure itself — so runtimes must not rely on
+//! the destructor alone.) Merging only ever *adds* integers
+//! (event counts, fixed-point sums, log-scale bucket tallies) and takes
+//! commutative `min`/`max` of floats, so the merged totals are independent
+//! of how work was partitioned across workers: the same input produces
+//! bit-identical [`Counter`](Kind::Counter) and [`Value`](Kind::Value)
+//! metrics at any thread count. [`Time`](Kind::Time) metrics (spans) have
+//! deterministic *counts* but wall-clock-dependent durations.
+//!
+//! Instrumentation is off by default. Every recording entry point starts
+//! with a single relaxed atomic load ([`enabled`]); when the recorder is
+//! disabled that load is the entire cost, and [`span`] never touches the
+//! clock. Enabling the recorder only ever observes values the pipeline
+//! already computed — it cannot perturb estimates.
+//!
+//! ```
+//! spotfi_obs::reset();
+//! spotfi_obs::set_enabled(true);
+//! {
+//!     let _span = spotfi_obs::span("stage.demo");
+//!     spotfi_obs::counter("demo.events", 3);
+//!     spotfi_obs::value("demo.residual", 0.125);
+//! }
+//! spotfi_obs::set_enabled(false);
+//! let snap = spotfi_obs::snapshot();
+//! assert_eq!(snap.counter_total("demo.events"), 3);
+//! assert_eq!(snap.get("stage.demo").unwrap().updates, 1);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of log-scale magnitude buckets kept per histogram metric.
+///
+/// Bucket `i` counts updates whose integer magnitude has bit length `i`
+/// (bucket 0 is exactly zero), saturating at the last bucket. For time
+/// metrics the magnitude is nanoseconds, so the range spans 1 ns to
+/// ~2.3 minutes before saturation; for value metrics it is the ×2³²
+/// fixed-point encoding, spanning ~2⁻³² to ~2¹⁶ in the recorded unit.
+pub const BUCKETS: usize = 48;
+
+/// Fixed-point scale (2³²) used to accumulate [`Kind::Value`] sums in
+/// integer arithmetic so that merges are exact and order-independent.
+const VALUE_FP_SCALE: f64 = 4_294_967_296.0;
+
+/// What a metric measures; determines how its integer `total` is interpreted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonic event count; `total` is the sum of increments.
+    Counter,
+    /// Distribution of an `f64` observable; `total` is a ×2³² fixed-point sum.
+    Value,
+    /// Distribution of span durations; `total` is a nanosecond sum.
+    Time,
+}
+
+impl Kind {
+    /// Stable lowercase name used in the diagnostics JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Value => "value",
+            Kind::Time => "time",
+        }
+    }
+}
+
+/// Aggregated state of one named metric.
+///
+/// All fields that participate in cross-thread merging are integers (or
+/// commutative float `min`/`max`), which is what makes the merged result
+/// independent of work partitioning.
+#[derive(Clone, Debug)]
+pub struct Metric {
+    /// Metric kind; a name must be used with one kind only.
+    pub kind: Kind,
+    /// Number of recording calls folded into this metric.
+    pub updates: u64,
+    /// Integer-domain sum; meaning depends on [`Kind`] (see its docs).
+    pub total: i128,
+    /// Smallest recorded observation (`+inf` when none; unused for counters).
+    pub min: f64,
+    /// Largest recorded observation (`-inf` when none; unused for counters).
+    pub max: f64,
+    /// Log-scale magnitude buckets (see [`BUCKETS`]); unused for counters.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Metric {
+    fn new(kind: Kind) -> Self {
+        Metric {
+            kind,
+            updates: 0,
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, fixed: i128, observed: f64) {
+        self.updates += 1;
+        self.total += fixed;
+        self.min = self.min.min(observed);
+        self.max = self.max.max(observed);
+        self.buckets[bucket_index(fixed.unsigned_abs())] += 1;
+    }
+
+    fn merge_from(&mut self, other: &Metric) {
+        debug_assert_eq!(
+            self.kind, other.kind,
+            "metric merged across mismatched kinds"
+        );
+        self.updates += other.updates;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
+    /// The accumulated sum converted back to the recorded unit
+    /// (event count, raw value, or nanoseconds).
+    pub fn sum(&self) -> f64 {
+        match self.kind {
+            Kind::Value => self.total as f64 / VALUE_FP_SCALE,
+            Kind::Counter | Kind::Time => self.total as f64,
+        }
+    }
+
+    /// Mean recorded observation (0 when the metric has no updates).
+    pub fn mean(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.sum() / self.updates as f64
+        }
+    }
+}
+
+/// Magnitude bucket for an unsigned integer: bit length, saturating.
+#[inline]
+fn bucket_index(magnitude: u128) -> usize {
+    (u128::BITS - magnitude.leading_zeros()).min(BUCKETS as u32 - 1) as usize
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+
+#[derive(Default)]
+struct Shard {
+    metrics: BTreeMap<&'static str, Metric>,
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        // Safety net for threads that never flush explicitly: merge this
+        // thread's locally aggregated metrics into the global map at exit.
+        // Note that thread-local destructors run *after* the closure a
+        // scoped thread was spawned with, so `std::thread::scope` alone
+        // does not order this flush before the scope returns — runtimes
+        // call [`flush_thread`] at the end of each worker closure instead.
+        flush_map(&mut self.metrics);
+    }
+}
+
+thread_local! {
+    static SHARD: RefCell<Shard> = RefCell::new(Shard::default());
+}
+
+fn flush_map(metrics: &mut BTreeMap<&'static str, Metric>) {
+    if metrics.is_empty() {
+        return;
+    }
+    let mut global = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    for (name, metric) in std::mem::take(metrics) {
+        match global.entry(name.to_string()) {
+            Entry::Occupied(mut slot) => slot.get_mut().merge_from(&metric),
+            Entry::Vacant(slot) => {
+                slot.insert(metric);
+            }
+        }
+    }
+}
+
+#[inline]
+fn with_metric(name: &'static str, kind: Kind, f: impl FnOnce(&mut Metric)) {
+    // try_with: recording during thread teardown (after the shard's own
+    // destructor ran) silently drops the update instead of panicking.
+    let _ = SHARD.try_with(|shard| {
+        let mut shard = shard.borrow_mut();
+        let metric = shard
+            .metrics
+            .entry(name)
+            .or_insert_with(|| Metric::new(kind));
+        debug_assert_eq!(
+            metric.kind, kind,
+            "metric {name} reused with a different kind"
+        );
+        f(metric);
+    });
+}
+
+/// Whether the recorder is currently enabled. One relaxed atomic load —
+/// this is the entire cost of every instrumented call site when disabled.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the recorder on or off. Off by default.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Add `n` to the monotonic counter `name`.
+#[inline]
+pub fn counter(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_metric(name, Kind::Counter, |m| {
+        m.updates += 1;
+        m.total += n as i128;
+    });
+}
+
+/// Record one observation of the `f64` observable `name`.
+///
+/// The value is folded into the running sum in ×2³² fixed point so that
+/// cross-thread merges are exact integer additions (order-independent).
+/// Non-finite values are recorded as a zero contribution to the sum but
+/// still show up in `min`/`max`.
+#[inline]
+pub fn value(name: &'static str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    // `as i128` saturates and maps NaN to 0, so this stays deterministic
+    // even for pathological inputs.
+    let fixed = (v * VALUE_FP_SCALE).round() as i128;
+    with_metric(name, Kind::Value, |m| m.record(fixed, v));
+}
+
+/// Record a duration in nanoseconds against the time metric `name`.
+/// Usually called via [`span`] rather than directly.
+#[inline]
+pub fn time_ns(name: &'static str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    with_metric(name, Kind::Time, |m| m.record(ns as i128, ns as f64));
+}
+
+/// RAII timer for a named region; records into a [`Kind::Time`] metric on
+/// drop. When the recorder is disabled at creation the guard holds no
+/// timestamp and drop is free — the clock is never read.
+///
+/// Spans nest lexically: an inner `span` simply records into its own
+/// metric, so a span taxonomy like `total` ⊃ `stage.*` is expressed by
+/// the call structure, not by the recorder.
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Start a [`Span`] named `name`.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            with_metric(self.name, Kind::Time, |m| m.record(ns as i128, ns as f64));
+        }
+    }
+}
+
+/// Merge the calling thread's shard into the global aggregate now.
+///
+/// Parallel runtimes call this as the **last statement of each worker
+/// closure**: `std::thread::scope` only waits for worker closures to
+/// return, not for thread-local destructors, so a shard left to its
+/// destructor may still be unmerged when the scope (and a subsequent
+/// [`snapshot`]) completes. The orchestrating thread's own shard is
+/// flushed by [`snapshot`] itself.
+pub fn flush_thread() {
+    let _ = SHARD.try_with(|shard| flush_map(&mut shard.borrow_mut().metrics));
+}
+
+/// Clear all recorded metrics (global aggregate and the calling thread's
+/// shard). Shards of other *live* threads are untouched, so call this from
+/// the thread that orchestrates parallel sections — with the scoped-thread
+/// runtime no worker outlives its section, so none exist between runs.
+pub fn reset() {
+    let _ = SHARD.try_with(|shard| shard.borrow_mut().metrics.clear());
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Flush the calling thread and return a copy of the global aggregate.
+pub fn snapshot() -> Snapshot {
+    flush_thread();
+    let global = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    Snapshot {
+        metrics: global.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+    }
+}
+
+/// An immutable copy of the recorder state, sorted by metric name.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, metric)` pairs in ascending name order.
+    pub metrics: Vec<(String, Metric)>,
+}
+
+impl Snapshot {
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// Total of a counter (0 when absent).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.get(name).map_or(0, |m| m.total.max(0) as u64)
+    }
+
+    /// Accumulated nanoseconds of a time metric (0 when absent).
+    pub fn time_total_ns(&self, name: &str) -> u128 {
+        self.get(name).map_or(0, |m| m.total.max(0) as u128)
+    }
+
+    /// Total number of recording calls across all metrics. Deterministic
+    /// for a given input, which makes it usable as the event count `N` in
+    /// the bench overhead bound (per-call disabled cost × `N`).
+    pub fn total_updates(&self) -> u64 {
+        self.metrics.iter().map(|(_, m)| m.updates).sum()
+    }
+
+    /// The metrics covered by the determinism contract: everything except
+    /// span durations (wall-clock) and `runtime.*` metrics, which describe
+    /// the execution itself (worker utilization, queue depths) and so
+    /// legitimately vary with the thread count.
+    pub fn deterministic_metrics(&self) -> Vec<(&str, &Metric)> {
+        self.metrics
+            .iter()
+            .filter(|(name, m)| m.kind != Kind::Time && !name.starts_with("runtime."))
+            .map(|(name, m)| (name.as_str(), m))
+            .collect()
+    }
+
+    /// Bit-exact equality of the deterministic subset of two snapshots
+    /// (same metric names, kinds, update counts, integer totals, buckets,
+    /// and min/max bit patterns).
+    pub fn deterministic_eq(&self, other: &Snapshot) -> bool {
+        let a = self.deterministic_metrics();
+        let b = other.deterministic_metrics();
+        a.len() == b.len()
+            && a.iter().zip(b.iter()).all(|((na, ma), (nb, mb))| {
+                na == nb
+                    && ma.kind == mb.kind
+                    && ma.updates == mb.updates
+                    && ma.total == mb.total
+                    && ma.buckets == mb.buckets
+                    && ma.min.to_bits() == mb.min.to_bits()
+                    && ma.max.to_bits() == mb.max.to_bits()
+            })
+    }
+
+    /// Render the snapshot as the `spotfi-diagnostics-v1` JSON document.
+    ///
+    /// `meta` entries are `(key, already-rendered JSON value)` pairs
+    /// spliced into the top level (same convention as `spotfi-bench`).
+    /// Spans, counters, and values are emitted one per line so the
+    /// document stays friendly to line-oriented tooling.
+    pub fn to_diagnostics_json(&self, meta: &[(&str, String)]) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"spotfi-diagnostics-v1\"");
+        for (key, value) in meta {
+            out.push_str(&format!(",\n  \"{}\": {}", json_escape(key), value));
+        }
+        let section = |out: &mut String, title: &str, kind: Kind| {
+            out.push_str(&format!(",\n  \"{title}\": ["));
+            let mut first = true;
+            for (name, m) in self.metrics.iter().filter(|(_, m)| m.kind == kind) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("\n    ");
+                out.push_str(&match kind {
+                    Kind::Time => format!(
+                        "{{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \"mean_ns\": {:.1}, \"min_ns\": {}, \"max_ns\": {}}}",
+                        json_escape(name), m.updates, m.total, m.mean(),
+                        m.min as i128, m.max as i128,
+                    ),
+                    Kind::Counter => format!(
+                        "{{\"name\": \"{}\", \"updates\": {}, \"total\": {}}}",
+                        json_escape(name), m.updates, m.total,
+                    ),
+                    Kind::Value => format!(
+                        "{{\"name\": \"{}\", \"count\": {}, \"mean\": {}, \"min\": {}, \"max\": {}}}",
+                        json_escape(name), m.updates,
+                        json_f64(m.mean()), json_f64(m.min), json_f64(m.max),
+                    ),
+                });
+            }
+            out.push_str("\n  ]");
+        };
+        section(&mut out, "spans", Kind::Time);
+        section(&mut out, "counters", Kind::Counter);
+        section(&mut out, "values", Kind::Value);
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Structural summary returned by [`validate_diagnostics`].
+#[derive(Clone, Debug)]
+pub struct DiagnosticsSummary {
+    /// Duration of the `total` span in nanoseconds.
+    pub total_ns: i128,
+    /// Sum of all `stage.*` span durations in nanoseconds.
+    pub stage_sum_ns: i128,
+    /// Number of spans in the document.
+    pub spans: usize,
+    /// Number of counters in the document.
+    pub counters: usize,
+    /// The `threads` meta value, when present.
+    pub threads: Option<usize>,
+}
+
+/// Sanity-check a `spotfi-diagnostics-v1` document (used by the CLI
+/// `check-diagnostics` subcommand and the CI bench job).
+///
+/// Checks performed:
+/// - the schema marker and the `spans` / `counters` / `values` keys exist;
+/// - a `total` span and at least one `stage.*` span and one counter exist;
+/// - for serial runs (`threads` ≤ 1 or absent), the `stage.*` durations
+///   sum to within 10% of the `total` span (90%–102%, the upper slack
+///   covering clock-read granularity). For parallel runs stage spans
+///   accumulate across workers, so the ratio check is skipped.
+///
+/// The parser is line-oriented and matches the layout that
+/// [`Snapshot::to_diagnostics_json`] emits — it is a schema sanity check,
+/// not a general JSON validator.
+pub fn validate_diagnostics(json: &str) -> Result<DiagnosticsSummary, String> {
+    if !json.contains("\"schema\": \"spotfi-diagnostics-v1\"") {
+        return Err("missing schema marker \"spotfi-diagnostics-v1\"".to_string());
+    }
+    for key in ["\"spans\": [", "\"counters\": [", "\"values\": ["] {
+        if !json.contains(key) {
+            return Err(format!("missing required key {key}"));
+        }
+    }
+    let threads = json.lines().find_map(|line| {
+        let rest = line.trim().strip_prefix("\"threads\": ")?;
+        rest.trim_end_matches(',').trim().parse::<usize>().ok()
+    });
+    let mut total_ns: Option<i128> = None;
+    let mut stage_sum_ns: i128 = 0;
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(name) = field_str(line, "name") {
+            if field_int(line, "total_ns").is_some() {
+                spans += 1;
+                let ns = field_int(line, "total_ns").unwrap();
+                if name == "total" {
+                    total_ns = Some(ns);
+                } else if name.starts_with("stage.") {
+                    stage_sum_ns += ns;
+                }
+            } else if field_int(line, "total").is_some() {
+                counters += 1;
+            }
+        }
+    }
+    let total_ns = total_ns.ok_or("no span named \"total\"")?;
+    if stage_sum_ns == 0 {
+        return Err("no stage.* spans recorded".to_string());
+    }
+    if counters == 0 {
+        return Err("no counters recorded".to_string());
+    }
+    if threads.unwrap_or(1) <= 1 {
+        let ratio = stage_sum_ns as f64 / total_ns.max(1) as f64;
+        if !(0.90..=1.02).contains(&ratio) {
+            return Err(format!(
+                "stage spans sum to {:.1}% of the total span (expected within 10%)",
+                ratio * 100.0
+            ));
+        }
+    }
+    Ok(DiagnosticsSummary {
+        total_ns,
+        stage_sum_ns,
+        spans,
+        counters,
+        threads,
+    })
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+fn field_int(line: &str, key: &str) -> Option<i128> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '-')
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    /// The recorder is process-global; serialize tests that touch it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: OnceLock<StdMutex<()>> = OnceLock::new();
+        GUARD
+            .get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _g = lock();
+        reset();
+        set_enabled(false);
+        counter("t.counter", 5);
+        value("t.value", 1.5);
+        let _span = span("t.span");
+        drop(_span);
+        assert!(snapshot().metrics.is_empty());
+    }
+
+    #[test]
+    fn counter_value_and_span_aggregate() {
+        let _g = lock();
+        reset();
+        set_enabled(true);
+        counter("t.counter", 2);
+        counter("t.counter", 3);
+        value("t.value", 1.5);
+        value("t.value", -0.5);
+        {
+            let _span = span("t.span");
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.counter_total("t.counter"), 5);
+        let v = snap.get("t.value").unwrap();
+        assert_eq!(v.updates, 2);
+        assert!((v.sum() - 1.0).abs() < 1e-9);
+        assert!((v.min - -0.5).abs() < 1e-12);
+        assert!((v.max - 1.5).abs() < 1e-12);
+        let s = snap.get("t.span").unwrap();
+        assert_eq!(s.kind, Kind::Time);
+        assert_eq!(s.updates, 1);
+    }
+
+    #[test]
+    fn thread_shards_merge_into_global_on_exit() {
+        let _g = lock();
+        reset();
+        set_enabled(true);
+        // Explicit joins wait for full thread exit (including thread-local
+        // destructors), so the destructor flush alone must suffice here.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    counter("t.shard", 1);
+                    value("t.shard_v", 0.25);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.counter_total("t.shard"), 4);
+        assert_eq!(snap.get("t.shard_v").unwrap().updates, 4);
+        assert!((snap.get("t.shard_v").unwrap().sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fire_and_forget_scoped_workers_flush_at_closure_end() {
+        // `std::thread::scope` does not wait for thread-local destructors,
+        // so a worker that is never explicitly joined must flush as the
+        // last statement of its closure for a post-scope snapshot to be
+        // complete. This is the contract every runtime worker follows.
+        let _g = lock();
+        reset();
+        set_enabled(true);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    counter("t.scoped", 1);
+                    flush_thread();
+                });
+            }
+        });
+        set_enabled(false);
+        assert_eq!(snapshot().counter_total("t.scoped"), 4);
+    }
+
+    #[test]
+    fn merge_is_partition_independent() {
+        let _g = lock();
+        let values = [0.125, 3.75, -2.5, 0.0625, 10.0, -0.875];
+        let run = |threads: usize| {
+            reset();
+            set_enabled(true);
+            std::thread::scope(|scope| {
+                for chunk in values.chunks(values.len().div_ceil(threads)) {
+                    scope.spawn(move || {
+                        for &v in chunk {
+                            value("t.part", v);
+                            counter("t.part_n", 1);
+                        }
+                        flush_thread();
+                    });
+                }
+            });
+            set_enabled(false);
+            snapshot()
+        };
+        let one = run(1);
+        let three = run(3);
+        assert!(one.deterministic_eq(&three));
+    }
+
+    #[test]
+    fn runtime_and_time_metrics_excluded_from_determinism_contract() {
+        let _g = lock();
+        reset();
+        set_enabled(true);
+        counter("runtime.workers", 8);
+        counter("algo.events", 1);
+        {
+            let _s = span("stage.x");
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let det = snap.deterministic_metrics();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].0, "algo.events");
+    }
+
+    #[test]
+    fn diagnostics_json_round_trips_through_validator() {
+        let _g = lock();
+        reset();
+        set_enabled(true);
+        time_ns("total", 1_000_000);
+        time_ns("stage.a", 600_000);
+        time_ns("stage.b", 380_000);
+        counter("c.events", 7);
+        value("v.obs", 0.5);
+        set_enabled(false);
+        let snap = snapshot();
+        let json = snap.to_diagnostics_json(&[("threads", "1".to_string())]);
+        let summary = validate_diagnostics(&json).expect("valid document");
+        assert_eq!(summary.total_ns, 1_000_000);
+        assert_eq!(summary.stage_sum_ns, 980_000);
+        assert_eq!(summary.threads, Some(1));
+        assert_eq!(summary.counters, 1);
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_stage_sums() {
+        let _g = lock();
+        reset();
+        set_enabled(true);
+        time_ns("total", 1_000_000);
+        time_ns("stage.a", 200_000);
+        counter("c.events", 1);
+        value("v.obs", 0.5);
+        set_enabled(false);
+        let json = snapshot().to_diagnostics_json(&[("threads", "1".to_string())]);
+        assert!(validate_diagnostics(&json).is_err());
+    }
+
+    #[test]
+    fn validator_skips_ratio_check_for_parallel_runs() {
+        let _g = lock();
+        reset();
+        set_enabled(true);
+        time_ns("total", 1_000_000);
+        // Parallel: stage time accumulates across workers and exceeds wall.
+        time_ns("stage.a", 3_000_000);
+        counter("c.events", 1);
+        value("v.obs", 0.5);
+        set_enabled(false);
+        let json = snapshot().to_diagnostics_json(&[("threads", "8".to_string())]);
+        assert!(validate_diagnostics(&json).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_diagnostics("{}").is_err());
+        assert!(validate_diagnostics("not json at all").is_err());
+    }
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(1 << 40), 41);
+        assert_eq!(bucket_index(u128::MAX), BUCKETS - 1);
+    }
+}

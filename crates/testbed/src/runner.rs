@@ -181,7 +181,10 @@ impl Runner {
 
     fn localize_target(&self, t_idx: usize) -> LocalizationRecord {
         let target = &self.scenario.targets[t_idx];
-        let traces = audible_traces(&self.scenario, &self.config, t_idx);
+        let traces = {
+            let _span = spotfi_obs::span("stage.simulate");
+            audible_traces(&self.scenario, &self.config, t_idx)
+        };
         let heard_by = traces.len();
 
         let spotfi = SpotFi::new(self.config.spotfi.clone());
@@ -212,10 +215,12 @@ impl Runner {
             .iter()
             .map(|(_, ap, tr)| (ap.array, tr.packets.as_slice()))
             .collect();
-        let arraytrack_error_m =
+        let arraytrack_error_m = {
+            let _span = spotfi_obs::span("stage.baseline");
             arraytrack_localize_in_bounds(&at_input, bounds, &self.config.arraytrack)
                 .ok()
-                .map(|est| est.distance(target.position));
+                .map(|est| est.distance(target.position))
+        };
 
         LocalizationRecord {
             target_name: target.name.clone(),
@@ -228,7 +233,10 @@ impl Runner {
 
     fn link_records(&self, t_idx: usize) -> Vec<LinkRecord> {
         let target = &self.scenario.targets[t_idx];
-        let traces = audible_traces(&self.scenario, &self.config, t_idx);
+        let traces = {
+            let _span = spotfi_obs::span("stage.simulate");
+            audible_traces(&self.scenario, &self.config, t_idx)
+        };
         let spotfi = SpotFi::new(self.config.spotfi.clone());
 
         traces
@@ -257,11 +265,13 @@ impl Runner {
                 });
 
                 // Fig. 8a: MUSIC-AoA averaged spectrum, closest peak.
-                let music_aoa_estimation_error_deg =
+                let music_aoa_estimation_error_deg = {
+                    let _span = spotfi_obs::span("stage.baseline");
                     averaged_music_aoa_peaks(&trace.packets, &self.config.arraytrack.music)
                         .into_iter()
                         .map(|aoa| (aoa - truth_aoa).abs())
-                        .min_by(|x, y| x.partial_cmp(y).unwrap());
+                        .min_by(|x, y| x.partial_cmp(y).unwrap())
+                };
 
                 // Fig. 8b: selection errors on SpotFi's own estimates.
                 let (sel_spotfi, sel_lteye, sel_cupid, sel_oracle) = match &analysis {
@@ -308,18 +318,24 @@ impl Runner {
         let next: Mutex<usize> = Mutex::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let idx = {
-                        let mut guard = next.lock().unwrap();
-                        let idx = *guard;
-                        if idx >= n {
-                            return;
-                        }
-                        *guard += 1;
-                        idx
-                    };
-                    let value = f(idx);
-                    results.lock().unwrap()[idx] = Some(value);
+                scope.spawn(|| {
+                    loop {
+                        let idx = {
+                            let mut guard = next.lock().unwrap();
+                            let idx = *guard;
+                            if idx >= n {
+                                break;
+                            }
+                            *guard += 1;
+                            idx
+                        };
+                        let value = f(idx);
+                        results.lock().unwrap()[idx] = Some(value);
+                    }
+                    // The scope's implicit join only waits for this closure,
+                    // not for thread-local destructors, so merge this
+                    // worker's observability shard before returning.
+                    spotfi_obs::flush_thread();
                 });
             }
         });

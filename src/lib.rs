@@ -22,6 +22,9 @@
 //!   (Figs. 5, 7, 8, 9).
 //! * [`io`] — the Linux 802.11n CSI Tool `.dat` format: run the pipeline
 //!   on real Intel 5300 captures, or export simulated traces.
+//! * [`obs`] — zero-dependency observability: counters, value histograms,
+//!   and timing spans recorded per worker and merged deterministically, so
+//!   enabling diagnostics never changes pipeline results.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@ pub use spotfi_channel as channel;
 pub use spotfi_core as core;
 pub use spotfi_io as io;
 pub use spotfi_math as math;
+pub use spotfi_obs as obs;
 pub use spotfi_testbed as testbed;
 
 pub use spotfi_channel::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};

@@ -1,0 +1,125 @@
+//! Golden-trace regression test: a fixed-seed apartment capture pushed
+//! through the full default pipeline, with every externally visible result
+//! pinned to the values the current implementation produces.
+//!
+//! The pipeline is deliberately bit-deterministic (fixed-seed simulator,
+//! deterministic clustering, thread-count-independent reductions), so these
+//! pins hold to near machine precision. If an algorithm change moves them,
+//! that is a *behavior* change: re-pin consciously in the same commit and
+//! say why — never loosen the tolerance to paper over drift.
+
+use spotfi::core::{ApPackets, SpotFi, SpotFiConfig};
+use spotfi::testbed::apartment::Apartment;
+use spotfi::{PacketTrace, TraceConfig};
+use spotfi_channel::Rng;
+
+const SEED: u64 = 42;
+const PACKETS: usize = 10;
+
+/// Pinned outputs of the golden capture (re-derive with
+/// `cargo test --test golden_trace -- --nocapture` after an intentional
+/// algorithm change).
+const PIN_AP0_AOA_DEG: f64 = 3.599856358801;
+const PIN_AP0_TOF_NS: f64 = -6.266779433706;
+const PIN_AP0_LIKELIHOOD: f64 = 3.212024489825e-1;
+const PIN_AP0_MEAN_RSSI_DBM: f64 = -39.5;
+const PIN_AP0_CLUSTERS: usize = 6;
+const PIN_POSITION_X: f64 = 2.165376777581;
+const PIN_POSITION_Y: f64 = 3.888453164833;
+const PIN_TOL: f64 = 1e-9;
+
+/// The fixed capture: the standard three-room apartment, target at the
+/// living-room center, all four home APs, one shared seeded RNG.
+fn golden_capture() -> (Vec<ApPackets>, spotfi::Point) {
+    let home = Apartment::standard();
+    let target = home.rooms[0][4].position; // living-room center
+    let cfg = TraceConfig::commodity();
+    let mut rng = Rng::seed_from_u64(SEED);
+    let aps: Vec<ApPackets> =
+        home.aps
+            .iter()
+            .filter_map(|ap| {
+                PacketTrace::generate(&home.floorplan, target, &ap.array, &cfg, PACKETS, &mut rng)
+                    .map(|t| ApPackets {
+                        array: ap.array,
+                        packets: t.packets,
+                    })
+            })
+            .collect();
+    (aps, target)
+}
+
+#[test]
+fn golden_apartment_trace_pins() {
+    let (aps, target) = golden_capture();
+    assert_eq!(aps.len(), 4, "all four home APs must hear the target");
+
+    let spotfi = SpotFi::new(SpotFiConfig::default());
+
+    // Per-AP analysis pins: the direct path selected for the first AP.
+    let a0 = spotfi.analyze_ap(&aps[0]).unwrap();
+    let d0 = a0.direct.expect("AP0 direct path");
+    assert!(
+        (d0.aoa_deg - PIN_AP0_AOA_DEG).abs() < PIN_TOL,
+        "AP0 direct AoA drifted: {:.12}° vs pinned {:.12}°",
+        d0.aoa_deg,
+        PIN_AP0_AOA_DEG
+    );
+    assert!(
+        (d0.tof_ns - PIN_AP0_TOF_NS).abs() < PIN_TOL,
+        "AP0 direct ToF drifted: {:.12} ns vs pinned {:.12} ns",
+        d0.tof_ns,
+        PIN_AP0_TOF_NS
+    );
+    assert!(
+        (d0.likelihood - PIN_AP0_LIKELIHOOD).abs() < PIN_TOL,
+        "AP0 direct likelihood drifted: {:.12e} vs pinned {:.12e}",
+        d0.likelihood,
+        PIN_AP0_LIKELIHOOD
+    );
+    assert_eq!(
+        a0.clustering.clusters.len(),
+        PIN_AP0_CLUSTERS,
+        "AP0 cluster count drifted"
+    );
+    assert!(
+        (a0.mean_rssi_dbm - PIN_AP0_MEAN_RSSI_DBM).abs() < PIN_TOL,
+        "AP0 mean RSSI drifted: {:.12} dBm",
+        a0.mean_rssi_dbm
+    );
+
+    // Localization pins: the final position, plus a sanity bound on the
+    // actual error so a consistent-but-wrong re-pin can't sneak through.
+    let est = spotfi.localize(&aps).unwrap();
+    assert!(
+        (est.position.x - PIN_POSITION_X).abs() < PIN_TOL
+            && (est.position.y - PIN_POSITION_Y).abs() < PIN_TOL,
+        "position drifted: ({:.12}, {:.12}) vs pinned ({:.12}, {:.12})",
+        est.position.x,
+        est.position.y,
+        PIN_POSITION_X,
+        PIN_POSITION_Y
+    );
+    let err = est.position.distance(target);
+    assert!(err < 1.0, "golden trace error {} m out of bounds", err);
+}
+
+#[test]
+fn golden_trace_is_bit_stable_across_runs() {
+    // The pins above allow a 1e-9 print-rounding tolerance; within one
+    // process the capture and pipeline must be *exactly* reproducible.
+    let run = || {
+        let (aps, _) = golden_capture();
+        let spotfi = SpotFi::new(SpotFiConfig::default());
+        let a0 = spotfi.analyze_ap(&aps[0]).unwrap();
+        let d = a0.direct.unwrap();
+        let p = spotfi.localize(&aps).unwrap().position;
+        (
+            d.aoa_deg.to_bits(),
+            d.tof_ns.to_bits(),
+            p.x.to_bits(),
+            p.y.to_bits(),
+        )
+    };
+    assert_eq!(run(), run(), "golden trace not bit-reproducible");
+}

@@ -1,0 +1,189 @@
+//! Observability contract tests: enabling the recorder never changes
+//! pipeline results, and the deterministic metric subset is bit-identical
+//! regardless of how the work was scheduled across threads.
+//!
+//! The recorder is process-global, so every test here serializes on one
+//! mutex — the per-test `reset()` would otherwise race.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use spotfi::core::{ApPackets, RuntimeConfig, SpotFi, SpotFiConfig};
+use spotfi::testbed::{Deployment, Runner, RunnerConfig, Scenario};
+use spotfi::{AntennaArray, Floorplan, PacketTrace, Point, TraceConfig};
+use spotfi_channel::Rng;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn capture() -> Vec<ApPackets> {
+    let plan = Floorplan::empty();
+    let target = Point::new(3.7, 6.1);
+    let center = Point::new(5.0, 5.0);
+    let mut rng = Rng::seed_from_u64(31);
+    [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
+        .iter()
+        .map(|&(x, y)| {
+            let angle = (center - Point::new(x, y)).angle();
+            let array = AntennaArray::intel5300(
+                Point::new(x, y),
+                angle,
+                spotfi::channel::constants::DEFAULT_CARRIER_HZ,
+            );
+            let trace = PacketTrace::generate(
+                &plan,
+                target,
+                &array,
+                &TraceConfig::commodity(),
+                8,
+                &mut rng,
+            )
+            .unwrap();
+            ApPackets {
+                array,
+                packets: trace.packets,
+            }
+        })
+        .collect()
+}
+
+fn spotfi_with_threads(threads: usize) -> SpotFi {
+    SpotFi::new(SpotFiConfig {
+        runtime: RuntimeConfig::with_threads(threads),
+        ..SpotFiConfig::default()
+    })
+}
+
+/// Runs one recorder-enabled localize at the given thread budget and
+/// returns (snapshot, position bits).
+fn instrumented_run(aps: &[ApPackets], threads: usize) -> (spotfi::obs::Snapshot, (u64, u64)) {
+    spotfi::obs::reset();
+    spotfi::obs::set_enabled(true);
+    let est = spotfi_with_threads(threads).localize(aps).unwrap();
+    spotfi::obs::set_enabled(false);
+    let snap = spotfi::obs::snapshot();
+    spotfi::obs::reset();
+    (snap, (est.position.x.to_bits(), est.position.y.to_bits()))
+}
+
+#[test]
+fn deterministic_metrics_bit_identical_across_thread_counts() {
+    let _guard = lock();
+    let aps = capture();
+    let (snap_t1, pos_t1) = instrumented_run(&aps, 1);
+    let (snap_t8, pos_t8) = instrumented_run(&aps, 8);
+
+    assert_eq!(pos_t1, pos_t8, "estimates must not depend on thread count");
+    assert!(
+        !snap_t1.deterministic_metrics().is_empty(),
+        "instrumentation recorded nothing"
+    );
+    assert!(
+        snap_t1.deterministic_eq(&snap_t8),
+        "counters/value histograms differ between 1 and 8 threads:\n t1: {:?}\n t8: {:?}",
+        snap_t1.deterministic_metrics(),
+        snap_t8.deterministic_metrics()
+    );
+}
+
+#[test]
+fn estimates_bit_identical_with_observability_on_and_off() {
+    let _guard = lock();
+    let aps = capture();
+
+    let run_plain = |threads: usize| {
+        let est = spotfi_with_threads(threads).localize(&aps).unwrap();
+        (est.position.x.to_bits(), est.position.y.to_bits())
+    };
+
+    for threads in [1, 8] {
+        spotfi::obs::reset();
+        assert!(!spotfi::obs::enabled());
+        let off = run_plain(threads);
+        let (_, on) = instrumented_run(&aps, threads);
+        assert_eq!(
+            off, on,
+            "enabling observability changed the {}-thread estimate",
+            threads
+        );
+    }
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let _guard = lock();
+    spotfi::obs::reset();
+    assert!(!spotfi::obs::enabled());
+    let aps = capture();
+    spotfi_with_threads(2).localize(&aps).unwrap();
+    let snap = spotfi::obs::snapshot();
+    assert!(
+        snap.metrics.is_empty(),
+        "disabled recorder still captured: {:?}",
+        snap.metrics
+    );
+}
+
+#[test]
+fn testbed_runner_workers_flush_into_snapshot() {
+    // Regression test: the testbed runner's fire-and-forget scoped workers
+    // once relied on thread-local destructors to merge their shards, which
+    // `std::thread::scope` does not wait for — a snapshot taken right after
+    // `run_localization` came back empty. Workers now flush at the end of
+    // their closure, so everything recorded inside the run must be visible.
+    let _guard = lock();
+    let deployment = Deployment::standard();
+    let mut scenario = Scenario::office(&deployment);
+    scenario.targets.truncate(2);
+    scenario.packets_per_fix = 4;
+    for threads in [1, 2] {
+        let runner = Runner::new(
+            scenario.clone(),
+            RunnerConfig {
+                threads,
+                ..RunnerConfig::default()
+            },
+        );
+        spotfi::obs::reset();
+        spotfi::obs::set_enabled(true);
+        let records = runner.run_localization();
+        spotfi::obs::set_enabled(false);
+        let snap = spotfi::obs::snapshot();
+        spotfi::obs::reset();
+        assert_eq!(records.len(), 2);
+        assert!(
+            snap.counter_total("sanitize.packets_ok") > 0,
+            "runner workers recorded nothing at {} threads",
+            threads
+        );
+        assert!(
+            snap.get("stage.sweep").is_some(),
+            "stage spans missing from runner-driven run at {} threads",
+            threads
+        );
+    }
+}
+
+#[test]
+fn per_packet_counters_scale_with_input() {
+    // Sanity-check the counter semantics end to end: analyzing one AP's 8
+    // packets must count exactly 8 sanitize successes and 8 analyzed
+    // packets, independent of scheduling.
+    let _guard = lock();
+    let aps = capture();
+    for threads in [1, 4] {
+        spotfi::obs::reset();
+        spotfi::obs::set_enabled(true);
+        spotfi_with_threads(threads).analyze_ap(&aps[0]).unwrap();
+        spotfi::obs::set_enabled(false);
+        let snap = spotfi::obs::snapshot();
+        spotfi::obs::reset();
+        assert_eq!(snap.counter_total("sanitize.packets_ok"), 8);
+        assert_eq!(snap.counter_total("pipeline.packets_analyzed"), 8);
+        assert_eq!(snap.counter_total("pipeline.aps_assembled"), 1);
+        assert_eq!(snap.counter_total("music.c2f_searches"), 8);
+    }
+}

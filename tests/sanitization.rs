@@ -105,6 +105,66 @@ fn tof_estimates_cluster_only_after_sanitization() {
 }
 
 #[test]
+fn known_sto_and_sfo_injection_recovered_exactly() {
+    // Ground-truth impairment test: inject a fully deterministic clock —
+    // known base STO, known SFO drift, zero detection jitter — and check
+    // (a) the simulator applied exactly the configured ramp and (b) the
+    // sanitizer's STO estimate tracks it packet by packet.
+    let base_sto_s = 80e-9;
+    let drift_s_per_packet = 0.5e-9;
+    let mut cfg = TraceConfig::commodity();
+    cfg.impairments = Impairments {
+        clock: Some(ClockModel {
+            base_sto_s,
+            sfo_drift_s_per_packet: drift_s_per_packet,
+            detection_jitter_s: 0.0,
+        }),
+        random_carrier_phase: true,
+        snr_db: None,
+        quantize: false,
+        path_jitter: None,
+    };
+    cfg.diffuse = None;
+
+    let plan = Floorplan::empty();
+    let mut rng = Rng::seed_from_u64(21);
+    let trace =
+        PacketTrace::generate(&plan, Point::new(3.5, 7.0), &ap(), &cfg, 12, &mut rng).unwrap();
+
+    // The simulator must have injected exactly base + i·drift.
+    for (i, p) in trace.packets.iter().enumerate() {
+        let expected = base_sto_s + drift_s_per_packet * i as f64;
+        assert!(
+            (p.injected_sto_s - expected).abs() < 1e-18,
+            "packet {}: injected {} s, expected {} s",
+            i,
+            p.injected_sto_s,
+            expected
+        );
+    }
+
+    // Algorithm 1 recovers the drift: estimated-STO differences between
+    // packets equal the injected SFO ramp (the static channel-delay
+    // component of each estimate cancels in the difference).
+    let f_delta = cfg.ofdm.subcarrier_spacing_hz;
+    let est: Vec<f64> = trace
+        .packets
+        .iter()
+        .map(|p| sanitize_csi(&p.csi, f_delta).unwrap().estimated_sto_s)
+        .collect();
+    for i in 1..est.len() {
+        let recovered_drift = (est[i] - est[0]) / i as f64;
+        assert!(
+            (recovered_drift - drift_s_per_packet).abs() < 1e-12,
+            "packet {}: recovered drift {} s/pkt vs injected {} s/pkt",
+            i,
+            recovered_drift,
+            drift_s_per_packet
+        );
+    }
+}
+
+#[test]
 fn estimated_sto_tracks_injected_differences() {
     let plan = Floorplan::empty();
     let mut rng = Rng::seed_from_u64(12);
