@@ -19,6 +19,12 @@ pub struct BenchResult {
     pub min_ns: f64,
     /// Mean per-iteration time across batches, ns.
     pub mean_ns: f64,
+    /// Mean after dropping the fastest and slowest 20% of batches, ns.
+    ///
+    /// On shared/1-core CI hosts individual batches absorb scheduler noise
+    /// (a preemption mid-batch inflates that batch by milliseconds); the
+    /// trimmed mean discards those tails so run-to-run medians stay stable.
+    pub trimmed_mean_ns: f64,
     /// Total iterations measured (across all batches).
     pub iterations: u64,
 }
@@ -37,6 +43,15 @@ pub struct BenchConfig {
     pub measure_s: f64,
     /// Target wall time spent warming up, seconds.
     pub warmup_s: f64,
+    /// Iteration floor for the warmup phase, applied on top of `warmup_s`.
+    ///
+    /// Purely time-based warmup under-warms slow end-to-end benchmarks: a
+    /// 3 ms iteration can exit a 50 ms warmup after a dozen cold-cache runs
+    /// and leave the first measured batch slower than the rest. The warmup
+    /// loop runs until *both* the time budget and this floor are met, so
+    /// every benchmark enters measurement with the same minimum number of
+    /// fully-warm passes regardless of its per-iteration cost.
+    pub min_warmup_iters: u64,
     /// Number of measured batches (the statistic is computed across them).
     pub batches: usize,
 }
@@ -46,6 +61,7 @@ impl Default for BenchConfig {
         BenchConfig {
             measure_s: 1.0,
             warmup_s: 0.2,
+            min_warmup_iters: 10,
             batches: 10,
         }
     }
@@ -57,6 +73,7 @@ impl BenchConfig {
         BenchConfig {
             measure_s: 0.2,
             warmup_s: 0.05,
+            min_warmup_iters: 5,
             batches: 5,
         }
     }
@@ -67,10 +84,13 @@ impl BenchConfig {
 /// The function's return value is passed through [`std::hint::black_box`]
 /// so the optimizer cannot delete the computation.
 pub fn bench<T, F: FnMut() -> T>(cfg: &BenchConfig, name: &str, mut f: F) -> BenchResult {
-    // Warmup: also estimates the per-iteration cost.
+    // Warmup: also estimates the per-iteration cost. Runs until both the
+    // time budget and the iteration floor are satisfied (see
+    // [`BenchConfig::min_warmup_iters`]).
+    let min_warmup = cfg.min_warmup_iters.max(1);
     let warmup_start = Instant::now();
     let mut warmup_iters = 0u64;
-    while warmup_start.elapsed().as_secs_f64() < cfg.warmup_s || warmup_iters == 0 {
+    while warmup_start.elapsed().as_secs_f64() < cfg.warmup_s || warmup_iters < min_warmup {
         std::hint::black_box(f());
         warmup_iters += 1;
     }
@@ -101,8 +121,18 @@ pub fn bench<T, F: FnMut() -> T>(cfg: &BenchConfig, name: &str, mut f: F) -> Ben
         median_ns,
         min_ns: batch_ns[0],
         mean_ns: batch_ns.iter().sum::<f64>() / batch_ns.len() as f64,
+        trimmed_mean_ns: trimmed_mean(&batch_ns),
         iterations,
     }
+}
+
+/// Mean of `sorted` after dropping the lowest and highest 20% of entries
+/// (`floor(len / 5)` from each end; degenerates to the plain mean below
+/// 5 entries). Input must be sorted ascending.
+pub fn trimmed_mean(sorted: &[f64]) -> f64 {
+    let trim = sorted.len() / 5;
+    let kept = &sorted[trim..sorted.len() - trim];
+    kept.iter().sum::<f64>() / kept.len() as f64
 }
 
 /// Serializes results plus free-form metadata to a JSON object:
@@ -120,11 +150,12 @@ pub fn to_json(meta: &[(&str, String)], results: &[BenchResult]) -> String {
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"name\": {}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"iterations\": {}}}{}\n",
+            "    {{\"name\": {}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"trimmed_mean_ns\": {:.1}, \"iterations\": {}}}{}\n",
             json_string(&r.name),
             r.median_ns,
             r.min_ns,
             r.mean_ns,
+            r.trimmed_mean_ns,
             r.iterations,
             comma
         ));
@@ -184,6 +215,7 @@ mod tests {
         let cfg = BenchConfig {
             measure_s: 0.02,
             warmup_s: 0.005,
+            min_warmup_iters: 2,
             batches: 3,
         };
         let mut x = 0u64;
@@ -195,7 +227,21 @@ mod tests {
         });
         assert!(r.median_ns > 0.0);
         assert!(r.min_ns <= r.median_ns);
+        assert!(r.trimmed_mean_ns > 0.0);
         assert!(r.iterations >= 3);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_outlier_tails() {
+        // 10 batches: one scheduler spike at each end must not move the
+        // trimmed mean, while the plain mean is dragged up.
+        let mut batches = vec![100.0; 8];
+        batches.insert(0, 1.0);
+        batches.push(10_000.0);
+        assert_eq!(trimmed_mean(&batches), 100.0);
+        assert!(batches.iter().sum::<f64>() / 10.0 > 1000.0);
+        // Below 5 entries there is nothing to trim.
+        assert_eq!(trimmed_mean(&[2.0, 4.0]), 3.0);
     }
 
     #[test]
@@ -208,6 +254,7 @@ mod tests {
                     median_ns: 1234.5,
                     min_ns: 1000.0,
                     mean_ns: 1300.0,
+                    trimmed_mean_ns: 1250.0,
                     iterations: 10,
                 },
                 BenchResult {
@@ -215,6 +262,7 @@ mod tests {
                     median_ns: 42.0,
                     min_ns: 40.0,
                     mean_ns: 44.0,
+                    trimmed_mean_ns: 43.0,
                     iterations: 7,
                 },
             ],
@@ -235,6 +283,7 @@ mod tests {
                 median_ns: 1.0,
                 min_ns: 1.0,
                 mean_ns: 1.0,
+                trimmed_mean_ns: 1.0,
                 iterations: 5,
             }],
         );

@@ -18,21 +18,28 @@
 //!
 //! Construction precomputes a [`SteeringCache`] (the MUSIC grid's steering
 //! factors) once per configuration. Analysis fans out on the scoped-thread
-//! engine in [`crate::runtime`]: the batch path flattens the whole
-//! (AP, packet) cross product into one outermost work list — per-packet
-//! analysis dominates, so the widest level gets the workers — and any
-//! leftover per-branch budget goes to the MUSIC ToF-tile sweep inside a
-//! packet. The budget itself is capped at the host's
-//! [`crate::runtime::hardware_parallelism`]. Every per-item computation is
-//! pure, so results are bit-identical for every thread count;
-//! `threads = 1` runs the plain serial path. Each worker owns a
-//! [`PacketScratch`] so per-packet buffers (smoothed matrix, eigensolver
-//! workspace, noise projector, packed projector blocks) are allocated once
+//! engine in [`crate::runtime`]: the whole (AP, packet) cross product is
+//! flattened into one work list, grouped into consecutive *batches* of up
+//! to 4 packets, and the batches feed the outermost parallel map — each
+//! batch stages its packets' covariances and eigendecomposes all of them in
+//! one lane-parallel batched solve (`spotfi_math::eigen_tridiag`'s
+//! structure-of-arrays Householder + QL driver, bit-identical per lane to
+//! the scalar solver) before running the per-packet sweeps. Any leftover
+//! per-branch budget goes to the MUSIC ToF-tile sweep inside a packet. The
+//! budget itself is capped at the host's
+//! [`crate::runtime::hardware_parallelism`]. Batch composition depends only
+//! on the input order — never on the thread count — and every per-batch
+//! computation is pure, so results are bit-identical for every thread
+//! count; `threads = 1` runs the plain serial path. Each worker owns its
+//! batch scratch, so per-packet buffers (smoothed matrix, eigensolver
+//! workspaces, noise projector, packed projector blocks) are allocated once
 //! per worker, not once per packet.
 
 use spotfi_channel::{AntennaArray, CsiPacket};
 use spotfi_math::stats::mean;
-use spotfi_math::CMat;
+use spotfi_math::{
+    hermitian_eigen_partial_batch_into, BatchTridiagWorkspace, CMat, TridiagWorkspace, BATCH_LANES,
+};
 
 use crate::cluster::{cluster_estimates, Clustering};
 use crate::config::SpotFiConfig;
@@ -42,7 +49,10 @@ use crate::likelihood::{select_direct_path, DirectPath};
 use crate::localize::{
     localize, localize_in_bounds, ApMeasurement, LocationEstimate, SearchBounds,
 };
-use crate::music::{music_paths_coarse_to_fine, music_spectrum_cached, MusicScratch};
+use crate::music::{
+    covariance_into, music_paths_coarse_to_fine, music_paths_coarse_to_fine_from_eigen,
+    music_spectrum_cached, music_spectrum_from_eigen, MusicScratch,
+};
 use crate::peaks::{find_peaks_filtered, PathEstimate};
 use crate::runtime::{parallel_map_with, RuntimeConfig};
 use crate::sanitize::sanitize_csi;
@@ -103,6 +113,37 @@ impl PacketScratch {
         PacketScratch {
             smoothed: CMat::zeros(cfg.smoothed_rows(), cfg.smoothed_cols()),
             music: MusicScratch::new(cfg),
+        }
+    }
+}
+
+/// Per-worker buffers for one *batch* of packets on the batched MUSIC
+/// path: the shared per-packet scratch plus [`BATCH_LANES`] covariance
+/// slots and eigensolver output workspaces, and the structure-of-arrays
+/// workspace the lane-parallel tridiagonalization runs in.
+///
+/// All 10 packets of an AP eigendecompose independently, so the pipeline
+/// stages up to [`BATCH_LANES`] covariances and solves them in one
+/// [`hermitian_eigen_partial_batch_into`] call — lane-parallel arithmetic,
+/// bit-identical per lane to the scalar solver — instead of looping
+/// `noise_projector_with` per packet.
+struct BatchScratch {
+    packet: PacketScratch,
+    covs: Vec<CMat>,
+    lanes: Vec<TridiagWorkspace>,
+    bws: BatchTridiagWorkspace,
+}
+
+impl BatchScratch {
+    fn new(cfg: &SpotFiConfig) -> Self {
+        let n = cfg.smoothed_rows();
+        BatchScratch {
+            packet: PacketScratch::new(cfg),
+            covs: (0..BATCH_LANES).map(|_| CMat::zeros(n, n)).collect(),
+            lanes: (0..BATCH_LANES)
+                .map(|_| TridiagWorkspace::default())
+                .collect(),
+            bws: BatchTridiagWorkspace::default(),
         }
     }
 }
@@ -195,6 +236,146 @@ impl SpotFi {
         Ok(peaks)
     }
 
+    /// Stage one packet of a batch up to its covariance: sanitize → smooth
+    /// → `X·Xᴴ` into the caller's lane slot. The smoothed matrix is a
+    /// transient (the batched path never revisits it), so one per-worker
+    /// buffer serves every lane.
+    fn stage_packet_covariance(
+        &self,
+        packet: &CsiPacket,
+        scratch: &mut PacketScratch,
+        cov: &mut CMat,
+    ) -> Result<()> {
+        let sanitized = sanitize_csi(&packet.csi, self.config.ofdm.subcarrier_spacing_hz)?;
+        smoothed_csi_into(&sanitized.csi, &self.config, &mut scratch.smoothed)?;
+        let _span = spotfi_obs::span("stage.eigen_batch");
+        covariance_into(&scratch.smoothed, cov)
+    }
+
+    /// The post-eigensolve tail of one packet's MUSIC analysis: projector
+    /// build + packed sweep + peak bookkeeping, reading the packet's
+    /// eigendecomposition already sitting in `scratch`'s eigensolver
+    /// workspace. Mirrors [`analyze_packet_with`](Self::analyze_packet_with)
+    /// exactly from that point on.
+    fn finish_packet_music(
+        &self,
+        music_threads: usize,
+        scratch: &mut MusicScratch,
+    ) -> Result<Vec<PathEstimate>> {
+        let peaks = match self.config.music.sweep {
+            SweepStrategy::CoarseToFine { .. } => {
+                music_paths_coarse_to_fine_from_eigen(&self.config, &self.cache, scratch)?.paths
+            }
+            SweepStrategy::Dense => {
+                let spec =
+                    music_spectrum_from_eigen(&self.config, &self.cache, music_threads, scratch)?;
+                find_peaks_filtered(
+                    &spec,
+                    self.config.music.max_paths,
+                    self.config.music.min_relative_peak_power,
+                )
+            }
+        };
+        if peaks.is_empty() {
+            spotfi_obs::counter("pipeline.packets_no_paths", 1);
+            return Err(SpotFiError::NoPaths);
+        }
+        spotfi_obs::counter("pipeline.packets_analyzed", 1);
+        Ok(peaks)
+    }
+
+    /// Analyzes one batch of up to [`BATCH_LANES`] packets: stage all
+    /// covariances, eigendecompose them in one lane-parallel batched solve,
+    /// then run each packet's projector/sweep tail serially. Per-packet
+    /// results (order preserved) are identical to
+    /// [`analyze_packet_with`](Self::analyze_packet_with) — the batched
+    /// solver is bit-identical to the scalar one per lane, and everything
+    /// around it is the same code.
+    fn analyze_packet_batch(
+        &self,
+        packets: &[&CsiPacket],
+        music_threads: usize,
+        scratch: &mut BatchScratch,
+    ) -> Vec<Result<Vec<PathEstimate>>> {
+        debug_assert!(!packets.is_empty() && packets.len() <= BATCH_LANES);
+        let mut lane_of: Vec<Option<usize>> = Vec::with_capacity(packets.len());
+        let mut results: Vec<Result<Vec<PathEstimate>>> = Vec::with_capacity(packets.len());
+        let mut staged = 0usize;
+        for packet in packets {
+            match self.stage_packet_covariance(
+                packet,
+                &mut scratch.packet,
+                &mut scratch.covs[staged],
+            ) {
+                Ok(()) => {
+                    lane_of.push(Some(staged));
+                    staged += 1;
+                    results.push(Ok(Vec::new()));
+                }
+                Err(e) => {
+                    lane_of.push(None);
+                    results.push(Err(e));
+                }
+            }
+        }
+        if staged > 0 {
+            let _span = spotfi_obs::span("stage.eigen_batch");
+            let mats: Vec<&CMat> = scratch.covs[..staged].iter().collect();
+            let mut lanes: Vec<&mut TridiagWorkspace> =
+                scratch.lanes[..staged].iter_mut().collect();
+            hermitian_eigen_partial_batch_into(
+                &mats,
+                self.config.music.max_paths,
+                &mut scratch.bws,
+                &mut lanes,
+            );
+        }
+        for (i, lane) in lane_of.into_iter().enumerate() {
+            if let Some(l) = lane {
+                // O(1) buffer swap: the sweep reads `eig` from the music
+                // scratch; next batch overwrites the lane workspace anyway.
+                std::mem::swap(scratch.packet.music.eig_mut(), &mut scratch.lanes[l]);
+                results[i] = self.finish_packet_music(music_threads, &mut scratch.packet.music);
+            }
+        }
+        results
+    }
+
+    /// Runs a flattened packet work-list, returning per-unit results in
+    /// input order. The MUSIC estimator takes the batched path: units are
+    /// grouped into consecutive chunks of [`BATCH_LANES`] (deterministic
+    /// and thread-count independent, so results stay bit-identical at every
+    /// budget) and each chunk shares one batched eigensolve. ESPRIT has no
+    /// batched eigensolve stage and keeps the per-packet path.
+    fn analyze_units(
+        &self,
+        units: &[&CsiPacket],
+        budget: RuntimeConfig,
+    ) -> Vec<Result<Vec<PathEstimate>>> {
+        if !matches!(self.config.estimator, crate::config::Estimator::Music) {
+            let (workers, inner) = budget.split(units.len());
+            return parallel_map_with(
+                units.len(),
+                workers,
+                || PacketScratch::new(&self.config),
+                |scratch, i| self.analyze_packet_with(units[i], inner.threads(), scratch),
+            );
+        }
+        let n_batches = units.len().div_ceil(BATCH_LANES);
+        let (workers, inner) = budget.split(n_batches);
+        let batches: Vec<Vec<Result<Vec<PathEstimate>>>> = parallel_map_with(
+            n_batches,
+            workers,
+            || BatchScratch::new(&self.config),
+            |scratch, b| {
+                let b0 = b * BATCH_LANES;
+                let bl = BATCH_LANES.min(units.len() - b0);
+                self.analyze_packet_batch(&units[b0..b0 + bl], inner.threads(), scratch)
+            },
+        );
+        batches.into_iter().flatten().collect()
+    }
+
     /// Full per-AP analysis (Algorithm 2 steps 2–10): per-packet estimation,
     /// clustering across packets, direct-path selection. Packets are
     /// analyzed in parallel within the configured thread budget.
@@ -210,13 +391,8 @@ impl SpotFi {
         if ap.packets.is_empty() {
             return Err(SpotFiError::NoPackets);
         }
-        let (workers, inner) = budget.split(ap.packets.len());
-        let per_packet: Vec<Result<Vec<PathEstimate>>> = parallel_map_with(
-            ap.packets.len(),
-            workers,
-            || PacketScratch::new(&self.config),
-            |scratch, i| self.analyze_packet_with(&ap.packets[i], inner.threads(), scratch),
-        );
+        let units: Vec<&CsiPacket> = ap.packets.iter().collect();
+        let per_packet = self.analyze_units(&units, budget);
         self.assemble_ap(ap, per_packet)
     }
 
@@ -287,26 +463,15 @@ impl SpotFi {
     /// The (AP, packet) fan-out is flattened into one work list: per-packet
     /// analysis dominates the cost, so the widest pool of independent units
     /// feeds the *outermost* parallel map instead of nesting AP-level
-    /// workers over packet-level workers (4 APs used to cap the outer
-    /// level at 4 workers no matter the budget). Results regroup by AP in
-    /// packet order afterwards, so the output is identical to the nested
-    /// fan-out at every thread count.
+    /// workers over packet-level workers. The flattened list is grouped
+    /// into consecutive batches of up to 4 packets sharing one batched
+    /// eigensolve (see the module docs); batches may span AP boundaries —
+    /// the lanes are fully independent, so AP membership is irrelevant to
+    /// the solve. Results regroup by AP in packet order afterwards, so the
+    /// output is identical to the nested fan-out at every thread count.
     pub fn analyze_all(&self, aps: &[ApPackets]) -> Result<Vec<ApAnalysis>> {
-        let units: Vec<(usize, usize)> = aps
-            .iter()
-            .enumerate()
-            .flat_map(|(a, ap)| (0..ap.packets.len()).map(move |p| (a, p)))
-            .collect();
-        let (workers, inner) = self.config.runtime.split(units.len());
-        let per_packet: Vec<Result<Vec<PathEstimate>>> = parallel_map_with(
-            units.len(),
-            workers,
-            || PacketScratch::new(&self.config),
-            |scratch, i| {
-                let (a, p) = units[i];
-                self.analyze_packet_with(&aps[a].packets[p], inner.threads(), scratch)
-            },
-        );
+        let units: Vec<&CsiPacket> = aps.iter().flat_map(|ap| ap.packets.iter()).collect();
+        let per_packet = self.analyze_units(&units, self.config.runtime);
         let mut results = per_packet.into_iter();
         let analyses: Vec<ApAnalysis> = aps
             .iter()

@@ -16,7 +16,11 @@
 //! * [`eigen`] — complex Hermitian eigendecomposition via cyclic Jacobi
 //!   (the cross-validation oracle).
 //! * [`eigen_tridiag`] — Householder tridiagonalization + implicit-shift QL
-//!   with partial eigenvector extraction (the MUSIC hot path).
+//!   with partial eigenvector extraction (the MUSIC hot path), plus a
+//!   4-lane batched driver that solves whole-AP packet batches at once.
+//! * [`simd`] — portable f64×4 structure-of-arrays complex kernels for the
+//!   MUSIC quadforms and steering recurrences (opt-in via the `simd`
+//!   feature in `spotfi-core`; the scalar path stays the bit-pinned oracle).
 //! * [`realmat`] — small real matrices, linear solves, least squares.
 //! * [`unwrap`] — 1-D phase unwrapping.
 //! * [`optimize`] — golden section, Nelder–Mead, damped Gauss–Newton.
@@ -35,6 +39,7 @@ pub mod linsolve;
 pub mod matrix;
 pub mod optimize;
 pub mod realmat;
+pub mod simd;
 pub mod stats;
 pub mod unwrap;
 
@@ -43,8 +48,9 @@ pub use complex::c64;
 pub use eigen::{hermitian_eigen, HermitianEigen};
 pub use eigen_general::{general_eigen, general_eigenvalues};
 pub use eigen_tridiag::{
-    hermitian_eigen_partial, hermitian_eigen_partial_into, hermitian_eigen_partial_with,
-    PartialHermitianEigen, TridiagWorkspace,
+    hermitian_eigen_partial, hermitian_eigen_partial_batch_into, hermitian_eigen_partial_into,
+    hermitian_eigen_partial_with, BatchTridiagWorkspace, PartialHermitianEigen, TridiagWorkspace,
+    BATCH_LANES,
 };
 pub use linsolve::{lstsq as complex_lstsq, solve as complex_solve};
 pub use matrix::CMat;

@@ -1,0 +1,312 @@
+//! Portable f64×4 complex lanes for the MUSIC hot kernels.
+//!
+//! The two per-packet hot spots of the SpotFi pipeline — the packed-G-block
+//! quadratic forms `ωᴴ·G_p·ω` and the one-`cis` steering power recurrences —
+//! are short dense loops over ~15-element complex vectors. This module
+//! provides them as **structure-of-arrays** kernels over split re/im `f64`
+//! slices, written so LLVM's autovectorizer reliably lowers them to 4-wide
+//! vector FMAs under `-C target-cpu=native` (see `.cargo/config.toml`):
+//!
+//! * elementwise loops carry no cross-iteration dependency and vectorize
+//!   verbatim;
+//! * reductions run [`LANES`] independent accumulators that are combined in
+//!   one fixed order at the end, so results are deterministic (identical at
+//!   every thread count and on every run) even though they differ from the
+//!   strictly sequential scalar sum in the last bits.
+//!
+//! That last point is the crate's SIMD dispatch policy in miniature: these
+//! kernels **reassociate** (and contract via [`fma`]), so their results are
+//! *not* bit-identical to the scalar reference loops. Callers gate them
+//! behind the `simd` cargo feature and keep the scalar path as the
+//! bit-pinned oracle; equivalence is enforced at ≤ 1e-12 relative by tests
+//! on both sides. Kernels that merely run lanes in parallel *without*
+//! reassociating (the batched eigensolver in [`crate::eigen_tridiag`]) are
+//! bit-identical by construction and therefore not feature-gated.
+//!
+//! Everything here is plain safe Rust over `f64` slices — no `std::simd`,
+//! no intrinsics, no external crates — so the module compiles (and its
+//! tests run) on every target; only the achieved width depends on the
+//! enabled target features.
+
+use crate::complex::c64;
+
+/// Vector width the kernels are shaped for: 4 × f64 (one AVX2 register).
+pub const LANES: usize = 4;
+
+/// Fused multiply-add `a·b + c` when the target has a hardware FMA unit,
+/// plain `a·b + c` otherwise.
+///
+/// `f64::mul_add` without the `fma` target feature lowers to a libm call —
+/// dramatically *slower* than two ops — so the fallback must be the plain
+/// expression, not `mul_add`.
+#[inline(always)]
+pub fn fma(a: f64, b: f64, c: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// Rounds `n` up to the next multiple of [`LANES`].
+#[inline]
+pub const fn padded_len(n: usize) -> usize {
+    n.div_ceil(LANES) * LANES
+}
+
+/// Splits an AoS complex slice into zero-padded SoA re/im slices.
+///
+/// `re`/`im` must be at least [`padded_len`]`(src.len())` long; the pad
+/// region is zeroed so reductions over the full padded length are exact.
+#[inline]
+pub fn split_complex(src: &[c64], re: &mut [f64], im: &mut [f64]) {
+    let n = src.len();
+    let pad = padded_len(n);
+    assert!(
+        re.len() >= pad && im.len() >= pad,
+        "split buffers too short"
+    );
+    for (i, z) in src.iter().enumerate() {
+        re[i] = z.re;
+        im[i] = z.im;
+    }
+    for i in n..pad {
+        re[i] = 0.0;
+        im[i] = 0.0;
+    }
+}
+
+/// One packed Hermitian-block quadratic form `b = ωᴴ·G·ω` over SoA data.
+///
+/// `g_re`/`g_im` hold one `ncols`-column block, column-major with rows
+/// padded to `pad` (a multiple of [`LANES`]; pad rows zero). `w_re`/`w_im`
+/// hold ω zero-padded to `pad`. `c_re`/`c_im` are `pad`-length work buffers
+/// for the intermediate column `G·ω`.
+///
+/// Matches the scalar two-pass kernel (axpy over block columns, then
+/// conjugated dot) to ≤ 1e-12 relative; differs in the last bits because
+/// the dot runs [`LANES`] reassociated accumulators and both passes
+/// contract through [`fma`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn block_quadform_soa(
+    g_re: &[f64],
+    g_im: &[f64],
+    w_re: &[f64],
+    w_im: &[f64],
+    ncols: usize,
+    pad: usize,
+    c_re: &mut [f64],
+    c_im: &mut [f64],
+) -> (f64, f64) {
+    debug_assert!(pad.is_multiple_of(LANES));
+    debug_assert!(g_re.len() >= ncols * pad && g_im.len() >= ncols * pad);
+    let (c_re, c_im) = (&mut c_re[..pad], &mut c_im[..pad]);
+    c_re.fill(0.0);
+    c_im.fill(0.0);
+    // col += G[:, j] · w_j — elementwise over padded rows, no reduction.
+    for j in 0..ncols {
+        let (wr, wi) = (w_re[j], w_im[j]);
+        let gr = &g_re[j * pad..(j + 1) * pad];
+        let gi = &g_im[j * pad..(j + 1) * pad];
+        for i in 0..pad {
+            c_re[i] = fma(gr[i], wr, fma(-gi[i], wi, c_re[i]));
+            c_im[i] = fma(gr[i], wi, fma(gi[i], wr, c_im[i]));
+        }
+    }
+    // b = ωᴴ·col — LANES independent accumulators, fixed-order combine.
+    conj_dot_soa(&w_re[..pad], &w_im[..pad], c_re, c_im)
+}
+
+/// Conjugated dot product `Σ_i conj(a_i)·b_i` over SoA slices whose length
+/// is a multiple of [`LANES`] (zero-padded by the caller).
+///
+/// Runs [`LANES`] independent accumulators combined in one fixed order, so
+/// the result is deterministic but reassociated relative to the sequential
+/// scalar sum (≤ 1e-12 relative difference for the pipeline's magnitudes).
+#[inline]
+pub fn conj_dot_soa(a_re: &[f64], a_im: &[f64], b_re: &[f64], b_im: &[f64]) -> (f64, f64) {
+    let pad = a_re.len();
+    debug_assert!(pad.is_multiple_of(LANES));
+    debug_assert!(a_im.len() == pad && b_re.len() >= pad && b_im.len() >= pad);
+    let mut acc_re = [0.0f64; LANES];
+    let mut acc_im = [0.0f64; LANES];
+    for i4 in 0..pad / LANES {
+        let base = i4 * LANES;
+        for l in 0..LANES {
+            let i = base + l;
+            // conj(a)·b: re = ar·br + ai·bi, im = ar·bi − ai·br.
+            acc_re[l] = fma(a_re[i], b_re[i], fma(a_im[i], b_im[i], acc_re[l]));
+            acc_im[l] = fma(a_re[i], b_im[i], fma(-a_im[i], b_re[i], acc_im[l]));
+        }
+    }
+    (
+        (acc_re[0] + acc_re[1]) + (acc_re[2] + acc_re[3]),
+        (acc_im[0] + acc_im[1]) + (acc_im[2] + acc_im[3]),
+    )
+}
+
+/// Phasor powers `step^0 .. step^{n−1}` by [`LANES`] interleaved
+/// multiplication chains.
+///
+/// The scalar recurrence `w_{k+1} = w_k·step` is a serial dependency chain
+/// of complex multiplies (≈ 6 cycles each); running four chains advanced by
+/// `step⁴` hides that latency. Short outputs (< 2·[`LANES`]) fall through
+/// to the exact scalar chain — there is nothing to hide and the Φ rows
+/// (`ms` ≈ 2–3) must stay bit-identical to the scalar reference.
+///
+/// For longer outputs the stride-4 chains accumulate rounding differently
+/// from the scalar recurrence (≤ 1e-12 absolute for unit-modulus steps at
+/// the pipeline's lengths), which is why the `spotfi-core` callers gate
+/// this behind the `simd` feature.
+#[inline]
+pub fn phasor_powers_into(step: c64, out: &mut [c64]) {
+    let n = out.len();
+    if n < 2 * LANES {
+        let mut w = c64::ONE;
+        for o in out.iter_mut() {
+            *o = w;
+            w *= step;
+        }
+        return;
+    }
+    let step2 = step * step;
+    let step4 = step2 * step2;
+    out[0] = c64::ONE;
+    out[1] = step;
+    out[2] = step2;
+    out[3] = step2 * step;
+    for k in LANES..n {
+        out[k] = out[k - LANES] * step4;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: (f64, f64), b: c64, tol: f64) {
+        let scale = b.abs().max(1.0);
+        assert!(
+            (a.0 - b.re).abs() <= tol * scale && (a.1 - b.im).abs() <= tol * scale,
+            "({}, {}) vs {:?}",
+            a.0,
+            a.1,
+            b
+        );
+    }
+
+    fn seeded(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        }
+    }
+
+    #[test]
+    fn quadform_matches_scalar_two_pass() {
+        let mut next = seeded(7);
+        for &n in &[1usize, 4, 15, 16, 30] {
+            let pad = padded_len(n);
+            let g: Vec<c64> = (0..n * n).map(|_| c64::new(next(), next())).collect();
+            let w: Vec<c64> = (0..n).map(|_| c64::new(next(), next())).collect();
+
+            // Scalar reference: col = G·ω, b = ωᴴ·col.
+            let mut col = vec![c64::ZERO; n];
+            for j in 0..n {
+                for i in 0..n {
+                    col[i] += g[j * n + i] * w[j];
+                }
+            }
+            let expect: c64 = w.iter().zip(&col).map(|(wi, ci)| wi.conj() * *ci).sum();
+
+            let mut g_re = vec![0.0; n * pad];
+            let mut g_im = vec![0.0; n * pad];
+            for j in 0..n {
+                split_complex(
+                    &g[j * n..(j + 1) * n],
+                    &mut g_re[j * pad..(j + 1) * pad],
+                    &mut g_im[j * pad..(j + 1) * pad],
+                );
+            }
+            let mut w_re = vec![0.0; pad];
+            let mut w_im = vec![0.0; pad];
+            split_complex(&w, &mut w_re, &mut w_im);
+            let mut c_re = vec![0.0; pad];
+            let mut c_im = vec![0.0; pad];
+            let got = block_quadform_soa(&g_re, &g_im, &w_re, &w_im, n, pad, &mut c_re, &mut c_im);
+            approx(got, expect, 1e-12);
+        }
+    }
+
+    #[test]
+    fn conj_dot_matches_scalar() {
+        let mut next = seeded(21);
+        for &n in &[4usize, 8, 16, 32] {
+            let a: Vec<c64> = (0..n).map(|_| c64::new(next(), next())).collect();
+            let b: Vec<c64> = (0..n).map(|_| c64::new(next(), next())).collect();
+            let expect: c64 = a.iter().zip(&b).map(|(x, y)| x.conj() * *y).sum();
+            let pad = padded_len(n);
+            let (mut ar, mut ai) = (vec![0.0; pad], vec![0.0; pad]);
+            let (mut br, mut bi) = (vec![0.0; pad], vec![0.0; pad]);
+            split_complex(&a, &mut ar, &mut ai);
+            split_complex(&b, &mut br, &mut bi);
+            approx(conj_dot_soa(&ar, &ai, &br, &bi), expect, 1e-12);
+        }
+    }
+
+    #[test]
+    fn padding_contributes_nothing() {
+        // n = 15 pads to 16; the pad lane must not leak into the result.
+        let n = 15;
+        let pad = padded_len(n);
+        assert_eq!(pad, 16);
+        let a: Vec<c64> = (0..n).map(|i| c64::cis(i as f64 * 0.3)).collect();
+        let (mut ar, mut ai) = (vec![f64::NAN; pad], vec![f64::NAN; pad]);
+        split_complex(&a, &mut ar, &mut ai);
+        assert_eq!(ar[15], 0.0);
+        assert_eq!(ai[15], 0.0);
+        let expect: c64 = a.iter().map(|x| x.conj() * *x).sum();
+        approx(conj_dot_soa(&ar, &ai, &ar, &ai), expect, 1e-12);
+    }
+
+    #[test]
+    fn phasor_powers_match_scalar_recurrence() {
+        for &(theta, n) in &[(0.37f64, 15usize), (-1.1, 30), (2.9, 181)] {
+            let step = c64::cis(theta);
+            let mut out = vec![c64::ZERO; n];
+            phasor_powers_into(step, &mut out);
+            let mut w = c64::ONE;
+            for (k, got) in out.iter().enumerate() {
+                assert!(
+                    (*got - w).abs() < 1e-12,
+                    "power {} of cis({}): {:?} vs {:?}",
+                    k,
+                    theta,
+                    got,
+                    w
+                );
+                w *= step;
+            }
+        }
+    }
+
+    #[test]
+    fn short_phasor_rows_are_bit_exact() {
+        // Below 2·LANES the function IS the scalar recurrence (Φ rows).
+        let step = c64::cis(0.81);
+        let mut out = [c64::ZERO; 7];
+        phasor_powers_into(step, &mut out);
+        let mut w = c64::ONE;
+        for got in &out {
+            assert_eq!(*got, w);
+            w *= step;
+        }
+    }
+}
