@@ -141,14 +141,30 @@ pub fn trimmed_mean(sorted: &[f64]) -> f64 {
 /// Metadata values are emitted verbatim, so pass valid JSON fragments
 /// (numbers, `"quoted strings"`, booleans).
 pub fn to_json(meta: &[(&str, String)], results: &[BenchResult]) -> String {
+    to_json_with_skipped(meta, results, &[])
+}
+
+/// [`to_json`] plus benchmarks that were deliberately not run. Each
+/// `(name, reason)` pair is emitted into the same `benchmarks` array as
+/// `{"name": ..., "status": "<reason>"}` — no timing fields, so
+/// [`median_from_report`] returns `None` for it and downstream tooling can
+/// tell "skipped on purpose" apart from "silently missing". Used when
+/// thread-budget benches are pointless on the host (e.g. a `*_t8` run on a
+/// 1-core box is recorded as `"skipped_oversubscribed"`).
+pub fn to_json_with_skipped(
+    meta: &[(&str, String)],
+    results: &[BenchResult],
+    skipped: &[(&str, &str)],
+) -> String {
     let mut out = String::from("{\n  \"meta\": {\n");
     for (i, (k, v)) in meta.iter().enumerate() {
         let comma = if i + 1 == meta.len() { "" } else { "," };
         out.push_str(&format!("    {}: {}{}\n", json_string(k), v, comma));
     }
     out.push_str("  },\n  \"benchmarks\": [\n");
+    let entries = results.len() + skipped.len();
     for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
+        let comma = if i + 1 == entries { "" } else { "," };
         out.push_str(&format!(
             "    {{\"name\": {}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"trimmed_mean_ns\": {:.1}, \"iterations\": {}}}{}\n",
             json_string(&r.name),
@@ -157,6 +173,19 @@ pub fn to_json(meta: &[(&str, String)], results: &[BenchResult]) -> String {
             r.mean_ns,
             r.trimmed_mean_ns,
             r.iterations,
+            comma
+        ));
+    }
+    for (i, (name, reason)) in skipped.iter().enumerate() {
+        let comma = if results.len() + i + 1 == entries {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"status\": {}}}{}\n",
+            json_string(name),
+            json_string(reason),
             comma
         ));
     }
@@ -271,6 +300,29 @@ mod tests {
         assert_eq!(median_from_report(&j, "beta"), Some(42.0));
         assert_eq!(median_from_report(&j, "gamma"), None);
         assert_eq!(median_from_report("not json", "alpha"), None);
+    }
+
+    #[test]
+    fn skipped_entries_serialize_without_timings() {
+        let j = to_json_with_skipped(
+            &[("profile", json_string("fast"))],
+            &[BenchResult {
+                name: "ran".into(),
+                median_ns: 10.0,
+                min_ns: 9.0,
+                mean_ns: 11.0,
+                trimmed_mean_ns: 10.5,
+                iterations: 3,
+            }],
+            &[("skipped_t8", "skipped_oversubscribed")],
+        );
+        assert!(j.contains("{\"name\": \"skipped_t8\", \"status\": \"skipped_oversubscribed\"}"));
+        // A skipped entry has no median, so the smoke check skips it.
+        assert_eq!(median_from_report(&j, "skipped_t8"), None);
+        assert_eq!(median_from_report(&j, "ran"), Some(10.0));
+        // The benchmarks array stays valid JSON: the timed entry (not the
+        // last element anymore) must carry the separating comma.
+        assert!(j.contains("\"iterations\": 3},"));
     }
 
     #[test]

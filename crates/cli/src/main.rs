@@ -3,7 +3,7 @@
 //! ```text
 //! spotfi figures [fig5|fig7|fig8|fig9|ablation|all] [--fast]
 //! spotfi simulate --out capture.dat [--target x,y] [--packets N] [--seed S]
-//! spotfi analyze capture.dat [--ap x,y] [--normal deg]
+//! spotfi analyze capture.dat [--ap x,y] [--normal deg] [--stream]
 //! spotfi scenario [office|nlos|corridor] [--targets N] [--packets N]
 //! spotfi help
 //! ```
@@ -36,9 +36,12 @@ USAGE:
       Simulate a capture and write it in Linux 802.11n CSI Tool format.
 
   spotfi analyze <capture.dat> [--ap x,y] [--normal <deg>] [--threads N]
-                 [--diagnostics out.json]
+                 [--stream] [--diagnostics out.json]
       Parse a CSI Tool trace and run SpotFi's per-AP analysis
       (AP position/orientation default to the origin facing +y).
+      --stream replays the packets serially through the amortized
+      streaming hot path (rolling covariance, tracked subspace,
+      warm-started sweeps) instead of the batch path.
 
   spotfi scenario [office|nlos|corridor] [--targets N] [--packets N] [--threads N]
                   [--diagnostics out.json]
@@ -201,7 +204,7 @@ fn cmd_simulate(args: &Args) -> Result<(), ArgError> {
 }
 
 fn cmd_analyze(args: &Args) -> Result<(), ArgError> {
-    args.reject_unknown_flags(&[])?;
+    args.reject_unknown_flags(&["stream"])?;
     let path = args
         .positional(1)
         .ok_or_else(|| ArgError("analyze needs a capture file".into()))?;
@@ -219,9 +222,15 @@ fn cmd_analyze(args: &Args) -> Result<(), ArgError> {
     let diagnostics = diagnostics_begin(args);
     let threads = cfg.runtime.effective_threads();
     let spotfi = SpotFi::new(cfg);
+    let streaming = args.flag("stream");
+    let ap = ApPackets { array, packets };
     let analysis = {
         let _total = spotfi_obs::span("total");
-        spotfi.analyze_ap(&ApPackets { array, packets })
+        if streaming {
+            spotfi.analyze_ap_streaming(&ap)
+        } else {
+            spotfi.analyze_ap(&ap)
+        }
     }
     .map_err(|e| ArgError(format!("analysis failed: {}", e)))?;
     diagnostics_end(diagnostics, "analyze", threads)?;

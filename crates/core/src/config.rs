@@ -257,6 +257,50 @@ impl Default for LocalizeConfig {
     }
 }
 
+/// Streaming (amortized per-packet) analysis configuration.
+///
+/// The streaming path replaces the per-packet exact eigensolve + from-scratch
+/// sweep with a rolling covariance, an online subspace tracker, and a
+/// warm-started peak search (see DESIGN.md §9). Three knobs govern the
+/// accuracy/cost trade:
+///
+/// * `forgetting` — exponential decay `λ` of the rolling covariance
+///   `R ← λ·R + X·Xᴴ`. `0` keeps no history (each packet's covariance is
+///   exactly the batch path's, which makes streaming bit-identical to batch
+///   when combined with `reanchor_period = 1`); values near 1 average many
+///   packets and smooth noise at the cost of lag on moving targets.
+/// * `drift_threshold` — relative out-of-span energy of `R·E` above which
+///   the tracked subspace is declared stale and the packet re-runs the
+///   exact batch solver.
+/// * `reanchor_period` — every `K`-th packet unconditionally re-runs the
+///   exact solver and full detection sweep, bounding how far the tracked
+///   state can wander between exact references.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Exponential forgetting factor `λ ∈ [0, 1)` of the rolling covariance.
+    pub forgetting: f64,
+    /// Subspace-tracker relative drift above which the packet falls back to
+    /// the exact eigensolve (and re-seeds the tracker).
+    pub drift_threshold: f64,
+    /// Period of the unconditional exact re-anchor, in packets (≥ 1). `1`
+    /// disables tracking entirely — every packet is exact.
+    pub reanchor_period: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            // ~3-packet memory: enough averaging to stabilize the tracked
+            // subspace without visible lag at walking speeds.
+            forgetting: 0.7,
+            // One refine step on a static channel shows drift ≈ 1e-3–1e-2
+            // (finite packet noise); a moved target shows ≳ 0.3.
+            drift_threshold: 0.1,
+            reanchor_period: 32,
+        }
+    }
+}
+
 /// Complete SpotFi configuration.
 #[derive(Clone, Debug)]
 pub struct SpotFiConfig {
@@ -276,6 +320,8 @@ pub struct SpotFiConfig {
     pub likelihood: LikelihoodWeights,
     /// Eq. 9 solver parameters.
     pub localize: LocalizeConfig,
+    /// Amortized streaming-path parameters (`analyze_ap_streaming`).
+    pub stream: StreamConfig,
     /// Execution resources (thread budget). `threads = 1` is the serial
     /// reference path; any budget produces bit-identical results.
     pub runtime: RuntimeConfig,
@@ -292,6 +338,7 @@ impl Default for SpotFiConfig {
             cluster: ClusterConfig::default(),
             likelihood: LikelihoodWeights::default(),
             localize: LocalizeConfig::default(),
+            stream: StreamConfig::default(),
             runtime: RuntimeConfig::default(),
         }
     }

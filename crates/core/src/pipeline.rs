@@ -34,11 +34,27 @@
 //! batch scratch, so per-packet buffers (smoothed matrix, eigensolver
 //! workspaces, noise projector, packed projector blocks) are allocated once
 //! per worker, not once per packet.
+//!
+//! ### Streaming model
+//!
+//! The batch path re-derives everything per packet. When packets arrive as
+//! a live stream from one (target, AP) pair, consecutive channels are
+//! heavily correlated, and [`SpotFi::analyze_packet_streaming`] amortizes
+//! across them with persistent [`ApStream`] state: a rolling
+//! exponentially-forgotten covariance, an online-tracked signal subspace
+//! (block power step + Rayleigh–Ritz) replacing the exact eigensolve, and
+//! a warm-started sweep seeded from the previous packet's peak basins. The
+//! exact solver and full detection sweep run only on *anchor* packets —
+//! the first, every [`crate::config::StreamConfig::reanchor_period`]-th,
+//! and whenever subspace drift trips
+//! [`crate::config::StreamConfig::drift_threshold`]. See DESIGN.md §9 for
+//! the amortization policy and exactness contract.
 
 use spotfi_channel::{AntennaArray, CsiPacket};
 use spotfi_math::stats::mean;
 use spotfi_math::{
-    hermitian_eigen_partial_batch_into, BatchTridiagWorkspace, CMat, TridiagWorkspace, BATCH_LANES,
+    hermitian_eigen_partial_batch_into, hermitian_eigen_partial_into, BatchTridiagWorkspace, CMat,
+    SubspaceTracker, TridiagWorkspace, BATCH_LANES,
 };
 
 use crate::cluster::{cluster_estimates, Clustering};
@@ -51,7 +67,8 @@ use crate::localize::{
 };
 use crate::music::{
     covariance_into, music_paths_coarse_to_fine, music_paths_coarse_to_fine_from_eigen,
-    music_spectrum_cached, music_spectrum_from_eigen, MusicScratch,
+    music_paths_warm_prepared, music_spectrum_cached, music_spectrum_from_eigen,
+    prepare_music_evaluation_from_subspace, MusicScratch,
 };
 use crate::peaks::{find_peaks_filtered, PathEstimate};
 use crate::runtime::{parallel_map_with, RuntimeConfig};
@@ -114,6 +131,56 @@ impl PacketScratch {
             smoothed: CMat::zeros(cfg.smoothed_rows(), cfg.smoothed_cols()),
             music: MusicScratch::new(cfg),
         }
+    }
+}
+
+/// Persistent per-(target, AP) state for the amortized streaming hot path
+/// ([`SpotFi::analyze_packet_streaming`]): the rolling smoothed-CSI
+/// covariance with exponential forgetting, the tracked signal subspace
+/// that refines the previous packet's eigenbasis instead of re-running
+/// the exact solver, the previous packet's fine-grid peak cells that seed
+/// the warm-started sweep, and the re-anchor bookkeeping.
+///
+/// One `ApStream` belongs to one packet stream; feeding it packets from
+/// different APs (or different targets) mixes unrelated covariances.
+/// State survives per-packet errors: a sanitize/smooth failure leaves the
+/// covariance and tracker untouched, while an empty sweep or a non-finite
+/// covariance forces an exact re-anchor on the next packet.
+#[derive(Clone, Debug)]
+pub struct ApStream {
+    cov: CMat,
+    tracker: SubspaceTracker,
+    scratch: PacketScratch,
+    last_peaks: Vec<(usize, usize)>,
+    packets_since_anchor: usize,
+    initialized: bool,
+    force_anchor: bool,
+}
+
+impl ApStream {
+    /// Allocates stream state sized for `cfg`.
+    pub fn new(cfg: &SpotFiConfig) -> Self {
+        let n = cfg.smoothed_rows();
+        ApStream {
+            cov: CMat::zeros(n, n),
+            tracker: SubspaceTracker::new(),
+            scratch: PacketScratch::new(cfg),
+            last_peaks: Vec::new(),
+            packets_since_anchor: 0,
+            initialized: false,
+            force_anchor: false,
+        }
+    }
+
+    /// Drops all accumulated state: the next packet rebuilds the
+    /// covariance from scratch and anchors on the exact solver, exactly
+    /// like the first packet of a fresh stream.
+    pub fn reset(&mut self) {
+        self.tracker.reset();
+        self.last_peaks.clear();
+        self.packets_since_anchor = 0;
+        self.initialized = false;
+        self.force_anchor = false;
     }
 }
 
@@ -234,6 +301,210 @@ impl SpotFi {
         }
         spotfi_obs::counter("pipeline.packets_analyzed", 1);
         Ok(peaks)
+    }
+
+    /// Amortized streaming analysis of one packet against persistent
+    /// per-stream state — the steady-state hot path for live captures.
+    ///
+    /// Instead of re-deriving everything per packet like
+    /// [`analyze_packet`](Self::analyze_packet), this path:
+    ///
+    /// 1. updates a rolling covariance `R ← λ·R + X·Xᴴ` in place
+    ///    ([`crate::config::StreamConfig::forgetting`]),
+    /// 2. *tracks* the signal subspace — one block power step plus a
+    ///    `k×k` Rayleigh–Ritz solve refining the previous eigenbasis
+    ///    ([`spotfi_math::SubspaceTracker`]) — instead of running the
+    ///    `O(n³)` tridiagonalization, and
+    /// 3. warm-starts the sweep from the previous packet's fine-grid peak
+    ///    basins, skipping the coarse detection level entirely.
+    ///
+    /// The exact batch eigensolver and the full detection sweep run only
+    /// on *anchor* packets: the first packet of a stream, every
+    /// [`crate::config::StreamConfig::reanchor_period`]-th packet, any
+    /// packet where the tracker's residual drift exceeds
+    /// [`crate::config::StreamConfig::drift_threshold`], and the packet
+    /// after any failure. With `forgetting = 0` and `reanchor_period = 1`
+    /// every packet anchors on a fresh covariance and the results are
+    /// bit-identical to [`analyze_packet`](Self::analyze_packet); the
+    /// default [`crate::config::StreamConfig`] instead trades that for a
+    /// multiple-× steady-state speedup with tolerance-level accuracy
+    /// (pinned by the golden streaming trace).
+    ///
+    /// Emits `stream.*` diagnostics:
+    /// `stream.packets = stream.warmstart_hit + stream.warmstart_miss`
+    /// and `stream.warmstart_miss = stream.anchor +
+    /// stream.tracker_fallback` (identities checked by
+    /// `spotfi_obs::validate_diagnostics`).
+    ///
+    /// The ESPRIT estimator has no covariance/eigensolve stage to
+    /// amortize, so it falls through to the per-packet path.
+    pub fn analyze_packet_streaming(
+        &self,
+        packet: &CsiPacket,
+        stream: &mut ApStream,
+    ) -> Result<Vec<PathEstimate>> {
+        if !matches!(self.config.estimator, crate::config::Estimator::Music) {
+            return self.analyze_packet_with(packet, 1, &mut stream.scratch);
+        }
+        let _packet_span = spotfi_obs::span("stream.packet");
+        let ApStream {
+            cov,
+            tracker,
+            scratch,
+            last_peaks,
+            packets_since_anchor,
+            initialized,
+            force_anchor,
+        } = stream;
+
+        let sanitized = sanitize_csi(&packet.csi, self.config.ofdm.subcarrier_spacing_hz)?;
+        smoothed_csi_into(&sanitized.csi, &self.config, &mut scratch.smoothed)?;
+
+        let stream_cfg = self.config.stream;
+        let first = !*initialized;
+        {
+            let _track = spotfi_obs::span("stage.track");
+            if first || stream_cfg.forgetting == 0.0 {
+                // Fresh product: with λ = 0 this keeps the streaming
+                // covariance bitwise-equal to the batch path's, which the
+                // exactness contract (DESIGN.md §9) relies on.
+                covariance_into(&scratch.smoothed, cov)?;
+            } else {
+                cov.hermitian_decay_accumulate(stream_cfg.forgetting, &scratch.smoothed);
+                if !cov.as_slice().iter().all(|z| z.is_finite()) {
+                    // Poisoned accumulator: drop everything so the next
+                    // packet rebuilds from scratch.
+                    tracker.reset();
+                    last_peaks.clear();
+                    *packets_since_anchor = 0;
+                    *initialized = false;
+                    *force_anchor = false;
+                    return Err(SpotFiError::DegenerateCsi);
+                }
+            }
+            *initialized = true;
+        }
+
+        let period = stream_cfg.reanchor_period.max(1);
+        let anchor = first
+            || *force_anchor
+            || *packets_since_anchor + 1 >= period
+            || last_peaks.is_empty()
+            || !tracker.is_seeded();
+        let mut fallback = false;
+        if !anchor {
+            let _track = spotfi_obs::span("stage.track");
+            let drift = tracker.refine(cov);
+            spotfi_obs::value("stream.drift", drift);
+            // NaN checked explicitly so a poisoned drift metric also falls
+            // back to the exact path.
+            if drift.is_nan() || drift > stream_cfg.drift_threshold {
+                fallback = true;
+            }
+        }
+
+        spotfi_obs::counter("stream.packets", 1);
+        let swept = if anchor || fallback {
+            spotfi_obs::counter("stream.warmstart_miss", 1);
+            spotfi_obs::counter(
+                if anchor {
+                    "stream.anchor"
+                } else {
+                    "stream.tracker_fallback"
+                },
+                1,
+            );
+            {
+                let _span = spotfi_obs::span("stage.eigen");
+                hermitian_eigen_partial_into(
+                    cov,
+                    self.config.music.max_paths,
+                    scratch.music.eig_mut(),
+                );
+            }
+            {
+                // Re-prime the tracker from the exact decomposition so the
+                // following packets refine a fresh basis.
+                let ws = scratch.music.eig_mut();
+                let k = ws.vectors().cols();
+                tracker.seed(&ws.values()[..k], ws.vectors());
+            }
+            music_paths_coarse_to_fine_from_eigen(&self.config, &self.cache, &mut scratch.music)
+        } else {
+            spotfi_obs::counter("stream.warmstart_hit", 1);
+            let prepared = {
+                let _track = spotfi_obs::span("stage.track");
+                prepare_music_evaluation_from_subspace(
+                    &self.config,
+                    &mut scratch.music,
+                    tracker.values(),
+                    tracker.vectors(),
+                )
+            };
+            prepared.and_then(|signal_dimension| {
+                music_paths_warm_prepared(
+                    &self.config,
+                    &self.cache,
+                    &mut scratch.music,
+                    signal_dimension,
+                    last_peaks,
+                )
+            })
+        };
+        let swept = match swept {
+            Ok(s) => s,
+            Err(e) => {
+                *force_anchor = true;
+                return Err(e);
+            }
+        };
+
+        *packets_since_anchor = if anchor || fallback {
+            0
+        } else {
+            *packets_since_anchor + 1
+        };
+        *force_anchor = false;
+        *last_peaks = swept.grid_peaks;
+        if swept.paths.is_empty() {
+            // Without seeds the warm path cannot search, so make the next
+            // packet run a full detection sweep.
+            *force_anchor = true;
+            spotfi_obs::counter("pipeline.packets_no_paths", 1);
+            return Err(SpotFiError::NoPaths);
+        }
+        spotfi_obs::counter("pipeline.packets_analyzed", 1);
+        Ok(swept.paths)
+    }
+
+    /// Per-AP analysis over the amortized streaming path
+    /// ([`analyze_packet_streaming`](Self::analyze_packet_streaming)) with
+    /// a fresh [`ApStream`]: packets are replayed *serially in capture
+    /// order* (the rolling covariance is order-dependent), then clustered
+    /// and scored exactly like [`analyze_ap`](Self::analyze_ap).
+    pub fn analyze_ap_streaming(&self, ap: &ApPackets) -> Result<ApAnalysis> {
+        self.analyze_ap_streaming_with(ap, &mut ApStream::new(&self.config))
+    }
+
+    /// [`analyze_ap_streaming`](Self::analyze_ap_streaming) against
+    /// caller-owned stream state, for callers that keep a stream warm
+    /// across calls (live capture loops, steady-state benchmarks). The
+    /// stream is NOT reset: a warmed stream keeps amortizing across the
+    /// call boundary.
+    pub fn analyze_ap_streaming_with(
+        &self,
+        ap: &ApPackets,
+        stream: &mut ApStream,
+    ) -> Result<ApAnalysis> {
+        if ap.packets.is_empty() {
+            return Err(SpotFiError::NoPackets);
+        }
+        let per_packet: Vec<Result<Vec<PathEstimate>>> = ap
+            .packets
+            .iter()
+            .map(|p| self.analyze_packet_streaming(p, stream))
+            .collect();
+        self.assemble_ap(ap, per_packet)
     }
 
     /// Stage one packet of a batch up to its covariance: sanitize → smooth
@@ -613,6 +884,66 @@ mod tests {
         // Free space: ≥ 1 estimate per packet.
         assert!(analysis.path_estimates.len() >= 8);
         let _ = OfdmConfig::intel5300_40mhz();
+    }
+
+    #[test]
+    fn streaming_exact_mode_is_bit_identical_to_batch() {
+        let plan = Floorplan::empty();
+        let array = ap_array(0.0, 0.0, Point::new(0.0, 5.0));
+        let ap = gen_packets(
+            &plan,
+            Point::new(-2.0, 5.0),
+            array,
+            &TraceConfig::commodity(),
+            6,
+            11,
+        );
+        let mut cfg = SpotFiConfig::fast_test();
+        // The exactness contract: no forgetting + anchor every packet
+        // reduces streaming to the batch per-packet path.
+        cfg.stream.forgetting = 0.0;
+        cfg.stream.reanchor_period = 1;
+        let s = SpotFi::new(cfg);
+        let batch = s.analyze_ap(&ap).unwrap();
+        let streamed = s.analyze_ap_streaming(&ap).unwrap();
+        assert_eq!(batch.path_estimates.len(), streamed.path_estimates.len());
+        for (a, b) in batch.path_estimates.iter().zip(&streamed.path_estimates) {
+            assert_eq!(a.aoa_deg, b.aoa_deg);
+            assert_eq!(a.tof_ns, b.tof_ns);
+            assert_eq!(a.power, b.power);
+        }
+        let (bd, sd) = (batch.direct.unwrap(), streamed.direct.unwrap());
+        assert_eq!(bd.aoa_deg, sd.aoa_deg);
+        assert_eq!(bd.likelihood, sd.likelihood);
+        assert_eq!(batch.dropped_packets, streamed.dropped_packets);
+    }
+
+    #[test]
+    fn streaming_default_config_tracks_batch_direct_path() {
+        let plan = Floorplan::empty();
+        let array = ap_array(0.0, 0.0, Point::new(0.0, 5.0));
+        let target = Point::new(-2.0, 5.0);
+        let ap = gen_packets(&plan, target, array, &TraceConfig::commodity(), 10, 11);
+        let s = spotfi();
+        let batch = s.analyze_ap(&ap).unwrap();
+        let streamed = s.analyze_ap_streaming(&ap).unwrap();
+        // Amortized tracking is tolerance-accurate, not bit-exact: the
+        // direct path must stay within a grid cell of the batch answer.
+        let (bd, sd) = (batch.direct.unwrap(), streamed.direct.unwrap());
+        assert!(
+            (bd.aoa_deg - sd.aoa_deg).abs() < 3.0,
+            "streamed direct AoA {} vs batch {}",
+            sd.aoa_deg,
+            bd.aoa_deg
+        );
+        assert_eq!(streamed.dropped_packets, 0);
+        // A warmed stream keeps amortizing across call boundaries.
+        let mut stream = ApStream::new(s.config());
+        let first = s.analyze_ap_streaming_with(&ap, &mut stream).unwrap();
+        let second = s.analyze_ap_streaming_with(&ap, &mut stream).unwrap();
+        assert_eq!(first.direct.unwrap().aoa_deg, sd.aoa_deg);
+        assert!(second.direct.is_some());
+        assert_eq!(second.dropped_packets, 0);
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub struct TrackerConfig {
     pub gate_sigma: f64,
     /// Initial velocity standard deviation, m/s.
     pub initial_velocity_std: f64,
+    /// Maximum gap between fixes, seconds: a fix arriving more than this
+    /// long after the previous one re-initializes the track at the new
+    /// fix instead of coasting a constant-velocity prediction across the
+    /// outage (the extrapolation — and the innovation gate built on it —
+    /// is meaningless after a long gap). `f64::INFINITY` disables the
+    /// reset.
+    pub max_gap_s: f64,
 }
 
 impl Default for TrackerConfig {
@@ -37,6 +44,7 @@ impl Default for TrackerConfig {
             measurement_std_m: 0.6,
             gate_sigma: 4.0,
             initial_velocity_std: 1.5,
+            max_gap_s: 10.0,
         }
     }
 }
@@ -116,8 +124,12 @@ impl Tracker {
         let r_std = measurement_std_m.unwrap_or(self.config.measurement_std_m);
         let r = r_std * r_std;
 
-        let Some(state) = self.state else {
-            // Initialize at the first fix.
+        // Re-initialize on the first fix or after a stale gap.
+        let reinit = match self.state {
+            None => true,
+            Some(_) => time_s - self.last_time_s > self.config.max_gap_s,
+        };
+        if reinit {
             self.state = Some([fix.x, fix.y, 0.0, 0.0]);
             self.cov = [[0.0; 4]; 4];
             self.cov[0][0] = r;
@@ -127,7 +139,8 @@ impl Tracker {
             self.cov[3][3] = v0 * v0;
             self.last_time_s = time_s;
             return UpdateOutcome::Initialized;
-        };
+        }
+        let state = self.state.expect("non-reinit update has a state");
 
         // ── Predict ────────────────────────────────────────────────────
         let dt = (time_s - self.last_time_s).max(1e-6);
@@ -343,5 +356,77 @@ mod tests {
         );
         let (vx, vy) = t.velocity().unwrap();
         assert!(vx.hypot(vy) < 0.3, "phantom velocity {} {}", vx, vy);
+        // Convergence is monotone in the aggregate: the last 10 fixes'
+        // mean error must beat the first 10's.
+        let mut t2 = Tracker::new(TrackerConfig::default());
+        let mut errs = Vec::new();
+        for i in 0..50 {
+            let noise = ((i * 37) % 11) as f64 / 11.0 - 0.5;
+            t2.update(
+                i as f64 * 0.5,
+                Point::new(4.0 + noise * 0.6, 7.0 - noise * 0.6),
+                None,
+            );
+            errs.push(t2.position().unwrap().distance(Point::new(4.0, 7.0)));
+        }
+        let early: f64 = errs[..10].iter().sum::<f64>() / 10.0;
+        let late: f64 = errs[40..].iter().sum::<f64>() / 10.0;
+        assert!(late < early, "late error {} vs early {}", late, early);
+    }
+
+    #[test]
+    fn constant_velocity_lag_stays_bounded() {
+        // Exact fixes from a target walking +x at 1.5 m/s: once the
+        // velocity estimate has converged, the steady-state lag behind
+        // the true position must stay small at every step.
+        let mut t = Tracker::new(TrackerConfig::default());
+        let mut worst_lag: f64 = 0.0;
+        for i in 0..40 {
+            let time = i as f64 * 0.5;
+            let truth = Point::new(1.5 * time, 3.0);
+            t.update(time, truth, None);
+            if i >= 10 {
+                worst_lag = worst_lag.max(t.position().unwrap().distance(truth));
+            }
+        }
+        assert!(
+            worst_lag < 0.2,
+            "steady-state lag {} m on a 1.5 m/s walk",
+            worst_lag
+        );
+        let (vx, vy) = t.velocity().unwrap();
+        assert!((vx - 1.5).abs() < 0.2, "vx {}", vx);
+        assert!(vy.abs() < 0.2, "vy {}", vy);
+    }
+
+    #[test]
+    fn long_gap_resets_track_at_new_fix() {
+        let mut t = Tracker::new(TrackerConfig::default());
+        for i in 0..10 {
+            t.update(i as f64 * 0.5, Point::new(i as f64, 2.0), None);
+        }
+        // 95 s outage (config default max_gap_s = 10), target re-appears
+        // far from the coasted constant-velocity extrapolation: the
+        // filter must restart at the fix, not gate it out or blend it.
+        let out = t.update(100.0, Point::new(1.0, 8.0), None);
+        assert_eq!(out, UpdateOutcome::Initialized);
+        let p = t.position().unwrap();
+        assert_eq!((p.x, p.y), (1.0, 8.0));
+        let (vx, vy) = t.velocity().unwrap();
+        assert_eq!((vx, vy), (0.0, 0.0));
+    }
+
+    #[test]
+    fn gap_reset_disabled_with_infinite_max_gap() {
+        let cfg = TrackerConfig {
+            max_gap_s: f64::INFINITY,
+            ..TrackerConfig::default()
+        };
+        let mut t = Tracker::new(cfg);
+        for i in 0..10 {
+            t.update(i as f64 * 0.5, Point::new(i as f64, 2.0), None);
+        }
+        let out = t.update(100.0, Point::new(1.0, 8.0), None);
+        assert_ne!(out, UpdateOutcome::Initialized);
     }
 }

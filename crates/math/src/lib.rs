@@ -21,6 +21,9 @@
 //! * [`simd`] — portable f64×4 structure-of-arrays complex kernels for the
 //!   MUSIC quadforms and steering recurrences (opt-in via the `simd`
 //!   feature in `spotfi-core`; the scalar path stays the bit-pinned oracle).
+//! * [`subspace`] — online dominant-subspace tracking (block power step +
+//!   Rayleigh–Ritz) for streaming covariances, with a drift metric that
+//!   tells callers when to re-anchor on the exact solver.
 //! * [`realmat`] — small real matrices, linear solves, least squares.
 //! * [`unwrap`] — 1-D phase unwrapping.
 //! * [`optimize`] — golden section, Nelder–Mead, damped Gauss–Newton.
@@ -41,6 +44,7 @@ pub mod optimize;
 pub mod realmat;
 pub mod simd;
 pub mod stats;
+pub mod subspace;
 pub mod unwrap;
 
 pub use angles::{deg_to_rad, rad_to_deg, wrap_pi};
@@ -55,3 +59,4 @@ pub use eigen_tridiag::{
 pub use linsolve::{lstsq as complex_lstsq, solve as complex_solve};
 pub use matrix::CMat;
 pub use realmat::RMat;
+pub use subspace::SubspaceTracker;

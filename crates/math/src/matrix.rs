@@ -151,6 +151,80 @@ impl CMat {
         }
     }
 
+    /// Scales every element in place by a real factor — the decay step of
+    /// an exponentially forgotten covariance (`R ← λ·R`). Unlike
+    /// [`scale`](Self::scale) this reuses the allocation and cannot change
+    /// Hermitian symmetry (a real factor preserves it exactly).
+    pub fn scale_in_place(&mut self, s: f64) {
+        for z in &mut self.data {
+            *z *= s;
+        }
+    }
+
+    /// Rank-1 Hermitian update `A ← A + α·v·vᴴ` with a real (signed) `α`:
+    /// `α > 0` is an update, `α < 0` a downdate (e.g. expiring a column out
+    /// of a sliding-window covariance). The lower triangle accumulates and
+    /// is then mirrored, so the result is exactly Hermitian with a real
+    /// diagonal — the invariant every consumer of the covariance assumes.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square or `v.len()` ≠ `self.rows()`.
+    pub fn rank1_hermitian_update(&mut self, v: &[c64], alpha: f64) {
+        let n = self.rows;
+        assert_eq!(
+            self.cols, n,
+            "rank-1 Hermitian update needs a square matrix"
+        );
+        assert_eq!(v.len(), n, "rank-1 Hermitian update vector length mismatch");
+        for j in 0..n {
+            let cj = v[j].conj() * alpha;
+            for i in j..n {
+                self[(i, j)] += v[i] * cj;
+            }
+        }
+        self.mirror_lower_triangle();
+    }
+
+    /// `A ← λ·A + X·Xᴴ` — one step of an exponentially forgotten covariance.
+    /// Equivalent to [`scale_in_place`](Self::scale_in_place) followed by a
+    /// [`rank1_hermitian_update`](Self::rank1_hermitian_update) per column of
+    /// `X`, but mirrors the lower triangle once at the end instead of per
+    /// column. The per-column accumulation order matches
+    /// [`mul_hermitian_self_into`](Self::mul_hermitian_self_into), so
+    /// `λ = 0` reproduces that product's rounding exactly.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square or `X.rows()` ≠ `self.rows()`.
+    pub fn hermitian_decay_accumulate(&mut self, lambda: f64, x: &CMat) {
+        let n = self.rows;
+        assert_eq!(self.cols, n, "covariance update needs a square matrix");
+        assert_eq!(x.rows, n, "covariance update row-count mismatch");
+        self.scale_in_place(lambda);
+        for c in 0..x.cols {
+            let col = x.col(c);
+            for j in 0..n {
+                let cj = col[j].conj();
+                for i in j..n {
+                    self[(i, j)] += col[i] * cj;
+                }
+            }
+        }
+        self.mirror_lower_triangle();
+    }
+
+    /// Copies the lower triangle's conjugate into the upper triangle and
+    /// forces the diagonal real — restores exact Hermitian symmetry after a
+    /// lower-triangle accumulation.
+    fn mirror_lower_triangle(&mut self) {
+        let n = self.rows;
+        for j in 0..n {
+            self[(j, j)] = c64::real(self[(j, j)].re);
+            for i in (j + 1)..n {
+                self[(j, i)] = self[(i, j)].conj();
+            }
+        }
+    }
+
     /// Reshapes in place to `rows × cols` of zeros, reusing the existing
     /// allocation when it is large enough. This is the hook the pipeline's
     /// scratch buffers use to avoid per-packet heap churn.
@@ -186,13 +260,8 @@ impl CMat {
                 }
             }
         }
-        for j in 0..n {
-            // Exact Hermitian symmetry: mirror the lower triangle.
-            out[(j, j)] = c64::real(out[(j, j)].re);
-            for i in (j + 1)..n {
-                out[(j, i)] = out[(i, j)].conj();
-            }
-        }
+        // Exact Hermitian symmetry: mirror the lower triangle.
+        out.mirror_lower_triangle();
     }
 
     /// Matrix product `self · rhs`.
@@ -479,6 +548,76 @@ mod tests {
         let mut out = CMat::from_fn(7, 2, |_, _| c64::new(9.0, -9.0));
         x.mul_hermitian_self_into(&mut out);
         assert_eq!(out, x.mul_hermitian_self());
+    }
+
+    #[test]
+    fn rank1_update_matches_explicit_outer_product() {
+        let x = CMat::from_fn(4, 3, |r, c| {
+            c64::new(r as f64 * 0.4 - c as f64, 0.3 * c as f64)
+        });
+        let mut a = x.mul_hermitian_self();
+        let v: Vec<c64> = (0..4)
+            .map(|i| c64::new(1.0 - i as f64, 0.5 * i as f64))
+            .collect();
+        a.rank1_hermitian_update(&v, 2.0);
+        let mut expect = x.mul_hermitian_self();
+        for j in 0..4 {
+            for i in 0..4 {
+                expect[(i, j)] += v[i] * v[j].conj() * 2.0;
+            }
+        }
+        assert!((&a - &expect).max_abs() < 1e-12);
+        assert!(a.is_hermitian(0.0), "update must preserve exact symmetry");
+    }
+
+    #[test]
+    fn rank1_downdate_reverses_update() {
+        let x = CMat::from_fn(4, 6, |r, c| c64::cis(r as f64 * 0.9 - c as f64 * 0.4));
+        let orig = x.mul_hermitian_self();
+        let mut a = orig.clone();
+        let v: Vec<c64> = (0..4)
+            .map(|i| c64::new(0.2 * i as f64 + 1.0, -0.7))
+            .collect();
+        a.rank1_hermitian_update(&v, 1.0);
+        a.rank1_hermitian_update(&v, -1.0);
+        assert!((&a - &orig).max_abs() < 1e-10);
+        assert!(a.is_hermitian(0.0));
+    }
+
+    #[test]
+    fn decay_accumulate_with_zero_lambda_is_bitwise_covariance() {
+        let x = CMat::from_fn(5, 9, |r, c| {
+            c64::new((r * c) as f64 * 0.13 - 1.0, r as f64 - c as f64)
+        });
+        // Dirty starting state: λ = 0 must wipe it exactly.
+        let mut a = CMat::from_fn(5, 5, |_, _| c64::new(7.0, -3.0));
+        a.hermitian_decay_accumulate(0.0, &x);
+        let expect = x.mul_hermitian_self();
+        // Bit-exact: same accumulation order as mul_hermitian_self_into.
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn decay_accumulate_matches_scale_plus_product() {
+        let x0 = CMat::from_fn(4, 7, |r, c| c64::cis(r as f64 * 0.3 + c as f64 * 1.1));
+        let x1 = CMat::from_fn(4, 7, |r, c| c64::cis(r as f64 * 1.7 - c as f64 * 0.2));
+        let lambda = 0.85;
+        let mut a = x0.mul_hermitian_self();
+        a.hermitian_decay_accumulate(lambda, &x1);
+        let expect = &x0.mul_hermitian_self().scale(c64::real(lambda)) + &x1.mul_hermitian_self();
+        assert!((&a - &expect).max_abs() < 1e-10);
+        assert!(
+            a.is_hermitian(0.0),
+            "decay + accumulate must stay Hermitian"
+        );
+    }
+
+    #[test]
+    fn scale_in_place_matches_scale() {
+        let a = CMat::from_fn(3, 4, |r, c| c64::new(r as f64, c as f64 - 2.0));
+        let mut b = a.clone();
+        b.scale_in_place(0.25);
+        assert_eq!(b, a.scale(c64::real(0.25)));
     }
 
     #[test]

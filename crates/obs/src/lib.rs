@@ -493,7 +493,11 @@ pub struct DiagnosticsSummary {
 /// - for serial runs (`threads` ≤ 1 or absent), the `stage.*` durations
 ///   sum to within 10% of the `total` span (90%–102%, the upper slack
 ///   covering clock-read granularity). For parallel runs stage spans
-///   accumulate across workers, so the ratio check is skipped.
+///   accumulate across workers, so the ratio check is skipped;
+/// - when the streaming hot path ran (a `stream.packets` counter is
+///   present), its counters satisfy the pipeline's accounting identities:
+///   `stream.packets = stream.warmstart_hit + stream.warmstart_miss` and
+///   `stream.warmstart_miss = stream.anchor + stream.tracker_fallback`.
 ///
 /// The parser is line-oriented and matches the layout that
 /// [`Snapshot::to_diagnostics_json`] emits — it is a schema sanity check,
@@ -515,6 +519,11 @@ pub fn validate_diagnostics(json: &str) -> Result<DiagnosticsSummary, String> {
     let mut stage_sum_ns: i128 = 0;
     let mut spans = 0usize;
     let mut counters = 0usize;
+    let mut stream_packets: Option<i128> = None;
+    let mut stream_hit: i128 = 0;
+    let mut stream_miss: i128 = 0;
+    let mut stream_anchor: i128 = 0;
+    let mut stream_fallback: i128 = 0;
     for line in json.lines() {
         let line = line.trim();
         if let Some(name) = field_str(line, "name") {
@@ -526,8 +535,16 @@ pub fn validate_diagnostics(json: &str) -> Result<DiagnosticsSummary, String> {
                 } else if name.starts_with("stage.") {
                     stage_sum_ns += ns;
                 }
-            } else if field_int(line, "total").is_some() {
+            } else if let Some(n) = field_int(line, "total") {
                 counters += 1;
+                match name {
+                    "stream.packets" => stream_packets = Some(n),
+                    "stream.warmstart_hit" => stream_hit = n,
+                    "stream.warmstart_miss" => stream_miss = n,
+                    "stream.anchor" => stream_anchor = n,
+                    "stream.tracker_fallback" => stream_fallback = n,
+                    _ => {}
+                }
             }
         }
     }
@@ -544,6 +561,22 @@ pub fn validate_diagnostics(json: &str) -> Result<DiagnosticsSummary, String> {
             return Err(format!(
                 "stage spans sum to {:.1}% of the total span (expected within 10%)",
                 ratio * 100.0
+            ));
+        }
+    }
+    if let Some(packets) = stream_packets {
+        if packets != stream_hit + stream_miss {
+            return Err(format!(
+                "stream counter mismatch: stream.packets = {packets} but \
+                 warmstart_hit + warmstart_miss = {}",
+                stream_hit + stream_miss
+            ));
+        }
+        if stream_miss != stream_anchor + stream_fallback {
+            return Err(format!(
+                "stream counter mismatch: stream.warmstart_miss = {stream_miss} but \
+                 anchor + tracker_fallback = {}",
+                stream_anchor + stream_fallback
             ));
         }
     }
@@ -766,6 +799,41 @@ mod tests {
     fn validator_rejects_garbage() {
         assert!(validate_diagnostics("{}").is_err());
         assert!(validate_diagnostics("not json at all").is_err());
+    }
+
+    /// Shared fixture for the stream-identity tests: a serial document with
+    /// balanced stage spans and the given stream counter totals.
+    fn stream_doc(packets: u64, hit: u64, miss: u64, anchor: u64, fallback: u64) -> String {
+        let _g = lock();
+        reset();
+        set_enabled(true);
+        time_ns("total", 1_000_000);
+        time_ns("stage.track", 950_000);
+        counter("stream.packets", packets);
+        counter("stream.warmstart_hit", hit);
+        counter("stream.warmstart_miss", miss);
+        counter("stream.anchor", anchor);
+        counter("stream.tracker_fallback", fallback);
+        set_enabled(false);
+        snapshot().to_diagnostics_json(&[("threads", "1".to_string())])
+    }
+
+    #[test]
+    fn validator_accepts_consistent_stream_counters() {
+        let json = stream_doc(10, 7, 3, 2, 1);
+        assert!(validate_diagnostics(&json).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_stream_counters() {
+        // packets ≠ hit + miss.
+        let json = stream_doc(10, 7, 2, 1, 1);
+        let err = validate_diagnostics(&json).unwrap_err();
+        assert!(err.contains("stream.packets"), "{err}");
+        // miss ≠ anchor + fallback.
+        let json = stream_doc(10, 7, 3, 3, 1);
+        let err = validate_diagnostics(&json).unwrap_err();
+        assert!(err.contains("stream.warmstart_miss"), "{err}");
     }
 
     #[test]
