@@ -216,6 +216,26 @@ pub fn median_from_report(json: &str, name: &str) -> Option<f64> {
     None
 }
 
+/// Extracts a numeric `meta` value (e.g. a throughput figure) from a
+/// report produced by [`to_json`].
+///
+/// Matches the `"key": value` line the harness writes into the `meta`
+/// object; values written as quoted strings (`"12345.6"`) are accepted
+/// too, since throughput metas are formatted that way. Same line-oriented
+/// contract as [`median_from_report`].
+pub fn meta_number_from_report(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("{}: ", json_string(key));
+    for line in json.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix(&needle) else {
+            continue;
+        };
+        let rest = rest.trim_end_matches(',').trim().trim_matches('"');
+        return rest.parse().ok();
+    }
+    None
+}
+
 /// Escapes a string as a JSON string literal.
 pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -323,6 +343,26 @@ mod tests {
         // The benchmarks array stays valid JSON: the timed entry (not the
         // last element anymore) must carry the separating comma.
         assert!(j.contains("\"iterations\": 3},"));
+    }
+
+    #[test]
+    fn meta_number_extraction() {
+        let j = to_json(
+            &[
+                ("profile", json_string("fast")),
+                ("stream_packets_per_s", "\"11724.3\"".to_string()),
+                ("fleet_targets", "1024".to_string()),
+            ],
+            &[],
+        );
+        assert_eq!(
+            meta_number_from_report(&j, "stream_packets_per_s"),
+            Some(11724.3)
+        );
+        assert_eq!(meta_number_from_report(&j, "fleet_targets"), Some(1024.0));
+        // Non-numeric and absent metas return None.
+        assert_eq!(meta_number_from_report(&j, "profile"), None);
+        assert_eq!(meta_number_from_report(&j, "missing"), None);
     }
 
     #[test]

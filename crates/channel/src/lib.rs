@@ -45,6 +45,7 @@ pub mod raytrace;
 pub mod rng;
 pub mod rssi;
 pub mod trace;
+pub mod trajectory;
 
 pub use array::AntennaArray;
 pub use csi::synthesize_csi;
@@ -55,3 +56,4 @@ pub use ofdm::OfdmConfig;
 pub use raytrace::{trace_paths, Path, PathKind};
 pub use rng::Rng;
 pub use trace::{CsiPacket, PacketTrace, TraceConfig};
+pub use trajectory::{generate_moving, MovingTraceConfig, Waypath};

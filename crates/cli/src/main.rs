@@ -48,9 +48,21 @@ USAGE:
       Run a full localization scenario (SpotFi vs ArrayTrack) and print
       the error table.
 
+  spotfi fleet [--targets N] [--packets N] [--aps N] [--workers N]
+               [--queue N] [--speed M] [--seed S] [--shed]
+               [--diagnostics out.json]
+      (alias: serve) Run the fleet engine: N moving targets on the
+      apartment floorplan, their per-AP packet streams interleaved into
+      one arrival schedule and sharded across a persistent worker pool.
+      Prints aggregate throughput, backpressure counters, per-update
+      latency percentiles, and tracking error against ground truth.
+      --workers 0 (default) uses all cores; --queue bounds each shard
+      queue; --shed switches overflow from blocking to drop-newest.
+
   spotfi check-diagnostics <diagnostics.json>
       Validate a --diagnostics export: schema keys present, stage span
-      durations consistent with the total span (CI uses this).
+      durations consistent with the total span, and — when present —
+      streaming and fleet counter identities (CI uses this).
 
   --threads N selects the worker-thread budget (default: all cores;
   1 = serial reference path; results are identical at any setting).
@@ -87,6 +99,10 @@ fn run() -> Result<(), ArgError> {
             "targets",
             "threads",
             "diagnostics",
+            "workers",
+            "queue",
+            "aps",
+            "speed",
         ],
     )?;
     match args.positional(0).unwrap_or("help") {
@@ -94,6 +110,7 @@ fn run() -> Result<(), ArgError> {
         "simulate" => cmd_simulate(&args),
         "analyze" => cmd_analyze(&args),
         "scenario" => cmd_scenario(&args),
+        "fleet" | "serve" => cmd_fleet(&args),
         "check-diagnostics" => cmd_check_diagnostics(&args),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
@@ -324,6 +341,123 @@ fn cmd_scenario(args: &Args) -> Result<(), ArgError> {
             spotfi_math::stats::median(&spotfi_errs),
             spotfi_math::stats::median(&at_errs),
         );
+    }
+    Ok(())
+}
+
+fn cmd_fleet(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown_flags(&["shed"])?;
+    let targets: usize = args.parsed("targets")?.unwrap_or(64);
+    let mut scenario_cfg = spotfi_testbed::fleet::FleetScenarioConfig::apartment(targets);
+    if let Some(p) = args.parsed::<usize>("packets")? {
+        scenario_cfg.packets_per_link = p;
+    }
+    if let Some(a) = args.parsed::<usize>("aps")? {
+        scenario_cfg.aps = a.clamp(2, 4);
+    }
+    if let Some(s) = args.parsed::<f64>("speed")? {
+        scenario_cfg.speed_mps = s.max(0.0);
+    }
+    if let Some(s) = args.parsed::<u64>("seed")? {
+        scenario_cfg.seed = s;
+    }
+
+    let mut fleet_cfg = spotfi_core::FleetConfig::default();
+    if let Some(w) = args.parsed::<usize>("workers")? {
+        fleet_cfg.workers = w;
+    }
+    if let Some(q) = args.parsed::<usize>("queue")? {
+        fleet_cfg.queue_capacity = q.max(1);
+    }
+    if args.flag("shed") {
+        fleet_cfg.overflow = spotfi_core::OverflowPolicy::DropNewest;
+    }
+    let workers = if fleet_cfg.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        fleet_cfg.workers
+    };
+    fleet_cfg.workers = workers;
+
+    println!(
+        "generating fleet scenario: {} targets × {} APs × {} packets/link …",
+        scenario_cfg.targets, scenario_cfg.aps, scenario_cfg.packets_per_link
+    );
+    let scenario = spotfi_testbed::FleetScenario::generate(&scenario_cfg);
+    println!(
+        "schedule: {} packets from {} audible targets",
+        scenario.schedule.len(),
+        scenario.targets.len()
+    );
+
+    let diagnostics = diagnostics_begin(args);
+    let spotfi = SpotFi::new(SpotFiConfig::fast_test());
+    let start = std::time::Instant::now();
+    let report = {
+        let _total = spotfi_obs::span("total");
+        let engine = spotfi_core::FleetEngine::new(spotfi, fleet_cfg);
+        let mut updates = Vec::new();
+        for pkt in &scenario.schedule {
+            engine.ingest(pkt.clone());
+            updates.extend(engine.try_updates());
+        }
+        let mut report = engine.shutdown();
+        updates.append(&mut report.updates);
+        report.updates = updates;
+        report
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+    // The producer thread plus the worker pool all record spans, so the
+    // serial stage-sum/total ratio check does not apply.
+    diagnostics_end(diagnostics, "fleet", workers + 1)?;
+
+    let s = report.stats;
+    println!(
+        "\nworkers {}: processed {} packets in {:.2} s — {:.0} packets/s aggregate",
+        workers,
+        s.processed,
+        wall_s,
+        s.processed as f64 / wall_s.max(1e-9)
+    );
+    println!(
+        "backpressure: ingested {} = accepted {} + dropped {} (deferred {}, max queue depth {})",
+        s.ingested, s.accepted, s.dropped, s.deferred, s.max_queue_depth
+    );
+    println!(
+        "fusion: {} attempts → {} position updates, {} without a fix, {} stream errors",
+        s.fusions, s.updates, s.fusion_no_fix, s.stream_errors
+    );
+    let lat = |l: &spotfi_core::LatencySummary| {
+        format!(
+            "p50 {:.1} µs, p90 {:.1} µs, p99 {:.1} µs, max {:.1} µs ({} samples)",
+            l.p50_ns as f64 / 1e3,
+            l.p90_ns as f64 / 1e3,
+            l.p99_ns as f64 / 1e3,
+            l.max_ns as f64 / 1e3,
+            l.count
+        )
+    };
+    println!("packet latency: {}", lat(&report.packet_latency));
+    println!("update latency: {}", lat(&report.update_latency));
+
+    let mut raw_errs = Vec::new();
+    let mut tracked_errs = Vec::new();
+    for u in &report.updates {
+        if let Some(truth) = scenario.truth_at(u.target_id, u.time_s) {
+            raw_errs.push(u.raw.position.distance(truth));
+            tracked_errs.push(u.tracked.distance(truth));
+        }
+    }
+    if !tracked_errs.is_empty() {
+        println!(
+            "tracking error vs ground truth: raw median {:.2} m, tracked median {:.2} m \
+             over {} updates",
+            spotfi_math::stats::median(&raw_errs),
+            spotfi_math::stats::median(&tracked_errs),
+            tracked_errs.len()
+        );
+    } else {
+        println!("no position updates emitted (increase --packets or --targets)");
     }
     Ok(())
 }

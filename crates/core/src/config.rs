@@ -285,6 +285,16 @@ pub struct StreamConfig {
     /// Period of the unconditional exact re-anchor, in packets (≥ 1). `1`
     /// disables tracking entirely — every packet is exact.
     pub reanchor_period: usize,
+    /// Optional cap on the tracked subspace rank, as a guard-band margin
+    /// over the anchor packet's signal dimension: `Some(m)` seeds the
+    /// tracker with `min(d + m, max_paths)` eigenvectors (where `d` is the
+    /// Algorithm 2 noise-threshold signal count at the anchor), `None`
+    /// tracks every extracted vector. Refine cost grows as `k³` in the
+    /// Ritz eigensolve, so capping the rank is the main throughput lever
+    /// for dense-multipath serving workloads; rank growth past the guard
+    /// band surfaces as drift and falls back to the exact solver. The
+    /// default (`None`) preserves the full-fidelity tracked subspace.
+    pub tracker_rank_margin: Option<usize>,
 }
 
 impl Default for StreamConfig {
@@ -297,6 +307,71 @@ impl Default for StreamConfig {
             // (finite packet noise); a moved target shows ≳ 0.3.
             drift_threshold: 0.1,
             reanchor_period: 32,
+            tracker_rank_margin: None,
+        }
+    }
+}
+
+/// What an ingest call does when a shard's bounded queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Block the producer until the worker drains space (lossless; applies
+    /// backpressure upstream). Each full-queue encounter is counted as a
+    /// `fleet.deferred`.
+    #[default]
+    Block,
+    /// Reject the incoming packet immediately (`fleet.dropped`). Use when
+    /// the producer cannot stall — e.g. live capture sockets.
+    DropNewest,
+}
+
+/// Fleet engine ([`crate::fleet::FleetEngine`]) configuration: worker-pool
+/// shape, per-shard queue bounds, and the per-target fusion cadence.
+///
+/// Per-(target, AP) stream state is sharded by target hash, so all of one
+/// target's state lives on exactly one worker — no locks, no migration —
+/// and per-target results are independent of `workers` (the determinism
+/// contract, DESIGN.md §10).
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Worker threads. `0` means one per hardware thread.
+    pub workers: usize,
+    /// Bounded depth of each worker's ingest queue, packets.
+    pub queue_capacity: usize,
+    /// Maximum packets a worker drains per wake-up. Batching amortizes the
+    /// queue lock and condvar wake across many packets.
+    pub batch_size: usize,
+    /// What ingest does when a queue is full.
+    pub overflow: OverflowPolicy,
+    /// Run the fusion stage (cluster → likelihood → localize → smoother)
+    /// every this many processed packets per target. Fusion costs ~10× a
+    /// warm packet, so the cadence sets the fusion share of total work.
+    pub fusion_interval: usize,
+    /// Per-AP sliding window of recent packets' path estimates that each
+    /// fusion clusters over.
+    pub window_packets: usize,
+    /// Minimum APs with a usable direct path before a fusion attempts to
+    /// localize; below this the fusion counts as `fleet.fusion_no_fix`.
+    pub min_fusion_aps: usize,
+    /// Kalman smoother parameters for the per-target track.
+    pub tracker: crate::tracking::TrackerConfig,
+    /// Optional localization search bounds (e.g. the building outline).
+    /// `None` searches the APs' bounding box plus the configured margin.
+    pub bounds: Option<crate::localize::SearchBounds>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 0,
+            queue_capacity: 1024,
+            batch_size: 32,
+            overflow: OverflowPolicy::default(),
+            fusion_interval: 32,
+            window_packets: 8,
+            min_fusion_aps: 2,
+            tracker: crate::tracking::TrackerConfig::default(),
+            bounds: None,
         }
     }
 }
@@ -351,6 +426,10 @@ impl SpotFiConfig {
         c.music.aoa_grid_deg = GridSpec::new(-90.0, 90.0, 2.0);
         c.music.tof_grid_ns = GridSpec::new(-100.0, 400.0, 5.0);
         c.localize.grid_step_m = 0.5;
+        // Serving-profile streaming: cap the tracked subspace at the
+        // anchor's signal dimension + 2 — the k³ Ritz eigensolve is the
+        // warm path's dominant cost at full rank (see StreamConfig).
+        c.stream.tracker_rank_margin = Some(2);
         c
     }
 

@@ -52,6 +52,7 @@ pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod esprit;
+pub mod fleet;
 pub mod likelihood;
 pub mod localize;
 pub mod music;
@@ -66,10 +67,15 @@ pub mod tracking;
 
 pub use cluster::{cluster_estimates, Clustering, PathCluster};
 pub use config::{
-    Estimator, GridSpec, LikelihoodWeights, MusicConfig, SpotFiConfig, StreamConfig, SweepStrategy,
+    Estimator, FleetConfig, GridSpec, LikelihoodWeights, MusicConfig, OverflowPolicy, SpotFiConfig,
+    StreamConfig, SweepStrategy,
 };
 pub use error::{Result, SpotFiError};
 pub use esprit::esprit_paths;
+pub use fleet::{
+    run_fleet_serial, FleetEngine, FleetPacket, FleetReport, FleetStats, FleetUpdate,
+    LatencySummary, PushResult,
+};
 pub use likelihood::{score_clusters, select_direct_path, DirectPath};
 pub use localize::{localize, ApMeasurement, LocationEstimate, SearchBounds};
 pub use music::{
@@ -79,7 +85,7 @@ pub use music::{
 };
 pub use pathloss::PathLossModel;
 pub use peaks::{find_peaks, find_peaks_filtered, paraboloid_offset, PathEstimate};
-pub use pipeline::{ApAnalysis, ApPackets, ApStream, PacketScratch, SpotFi};
+pub use pipeline::{ApAnalysis, ApPackets, ApStream, PacketScratch, SpotFi, StreamState};
 pub use runtime::{hardware_parallelism, parallel_map, parallel_map_with, RuntimeConfig};
 pub use sanitize::{sanitize_csi, SanitizedCsi};
 pub use smoothing::{smoothed_csi, smoothed_csi_into};

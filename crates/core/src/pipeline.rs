@@ -134,37 +134,35 @@ impl PacketScratch {
     }
 }
 
-/// Persistent per-(target, AP) state for the amortized streaming hot path
-/// ([`SpotFi::analyze_packet_streaming`]): the rolling smoothed-CSI
+/// The *persistent* half of a streaming session: the rolling smoothed-CSI
 /// covariance with exponential forgetting, the tracked signal subspace
 /// that refines the previous packet's eigenbasis instead of re-running
 /// the exact solver, the previous packet's fine-grid peak cells that seed
 /// the warm-started sweep, and the re-anchor bookkeeping.
 ///
-/// One `ApStream` belongs to one packet stream; feeding it packets from
-/// different APs (or different targets) mixes unrelated covariances.
-/// State survives per-packet errors: a sanitize/smooth failure leaves the
-/// covariance and tracker untouched, while an empty sweep or a non-finite
-/// covariance forces an exact re-anchor on the next packet.
+/// Split out from [`ApStream`] so callers that keep *many* concurrent
+/// streams (the fleet engine shards thousands of per-(target, AP)
+/// sessions across a handful of workers) pay only for this state per
+/// stream — roughly the covariance plus the tracked basis — while one
+/// per-worker [`PacketScratch`] serves every stream, since the scratch is
+/// fully overwritten on each packet.
 #[derive(Clone, Debug)]
-pub struct ApStream {
+pub struct StreamState {
     cov: CMat,
     tracker: SubspaceTracker,
-    scratch: PacketScratch,
     last_peaks: Vec<(usize, usize)>,
     packets_since_anchor: usize,
     initialized: bool,
     force_anchor: bool,
 }
 
-impl ApStream {
+impl StreamState {
     /// Allocates stream state sized for `cfg`.
     pub fn new(cfg: &SpotFiConfig) -> Self {
         let n = cfg.smoothed_rows();
-        ApStream {
+        StreamState {
             cov: CMat::zeros(n, n),
             tracker: SubspaceTracker::new(),
-            scratch: PacketScratch::new(cfg),
             last_peaks: Vec::new(),
             packets_since_anchor: 0,
             initialized: false,
@@ -181,6 +179,39 @@ impl ApStream {
         self.packets_since_anchor = 0;
         self.initialized = false;
         self.force_anchor = false;
+    }
+}
+
+/// Persistent per-(target, AP) state for the amortized streaming hot path
+/// ([`SpotFi::analyze_packet_streaming`]): a [`StreamState`] bundled with
+/// its own [`PacketScratch`], for callers that run one (or a few) streams
+/// and don't need to share scratch buffers.
+///
+/// One `ApStream` belongs to one packet stream; feeding it packets from
+/// different APs (or different targets) mixes unrelated covariances.
+/// State survives per-packet errors: a sanitize/smooth failure leaves the
+/// covariance and tracker untouched, while an empty sweep or a non-finite
+/// covariance forces an exact re-anchor on the next packet.
+#[derive(Clone, Debug)]
+pub struct ApStream {
+    state: StreamState,
+    scratch: PacketScratch,
+}
+
+impl ApStream {
+    /// Allocates stream state sized for `cfg`.
+    pub fn new(cfg: &SpotFiConfig) -> Self {
+        ApStream {
+            state: StreamState::new(cfg),
+            scratch: PacketScratch::new(cfg),
+        }
+    }
+
+    /// Drops all accumulated state: the next packet rebuilds the
+    /// covariance from scratch and anchors on the exact solver, exactly
+    /// like the first packet of a fresh stream.
+    pub fn reset(&mut self) {
+        self.state.reset();
     }
 }
 
@@ -343,19 +374,33 @@ impl SpotFi {
         packet: &CsiPacket,
         stream: &mut ApStream,
     ) -> Result<Vec<PathEstimate>> {
+        self.analyze_packet_streaming_with(packet, &mut stream.state, &mut stream.scratch)
+    }
+
+    /// [`analyze_packet_streaming`](Self::analyze_packet_streaming) with
+    /// the persistent state and the transient scratch passed separately —
+    /// the form the fleet engine's workers use, where one per-worker
+    /// [`PacketScratch`] serves every [`StreamState`] on the shard. The
+    /// scratch carries no information across packets (it is fully
+    /// overwritten), so results are identical to the bundled form.
+    pub fn analyze_packet_streaming_with(
+        &self,
+        packet: &CsiPacket,
+        state: &mut StreamState,
+        scratch: &mut PacketScratch,
+    ) -> Result<Vec<PathEstimate>> {
         if !matches!(self.config.estimator, crate::config::Estimator::Music) {
-            return self.analyze_packet_with(packet, 1, &mut stream.scratch);
+            return self.analyze_packet_with(packet, 1, scratch);
         }
         let _packet_span = spotfi_obs::span("stream.packet");
-        let ApStream {
+        let StreamState {
             cov,
             tracker,
-            scratch,
             last_peaks,
             packets_since_anchor,
             initialized,
             force_anchor,
-        } = stream;
+        } = state;
 
         let sanitized = sanitize_csi(&packet.csi, self.config.ofdm.subcarrier_spacing_hz)?;
         smoothed_csi_into(&sanitized.csi, &self.config, &mut scratch.smoothed)?;
@@ -424,10 +469,32 @@ impl SpotFi {
             }
             {
                 // Re-prime the tracker from the exact decomposition so the
-                // following packets refine a fresh basis.
+                // following packets refine a fresh basis. With
+                // `tracker_rank_margin` set, the tracked rank is capped at
+                // the anchor packet's signal dimension (Algorithm 2's
+                // noise-threshold rule) plus the guard band — the warm
+                // path's projector only ever consumes the signal vectors,
+                // and refine's cost grows as k³ in the Ritz eigensolve, so
+                // serving profiles avoid carrying all max_paths vectors
+                // through every packet. Subspace growth past the guard
+                // band shows up as drift and falls back to this exact path.
                 let ws = scratch.music.eig_mut();
                 let k = ws.vectors().cols();
-                tracker.seed(&ws.values()[..k], ws.vectors());
+                let vals = &ws.values()[..k];
+                let rank = match stream_cfg.tracker_rank_margin {
+                    Some(margin) => {
+                        let lmax = vals.first().copied().unwrap_or(0.0).max(0.0);
+                        let threshold = self.config.music.noise_threshold_ratio * lmax;
+                        let d = vals.iter().filter(|&&l| l >= threshold).count().clamp(1, k);
+                        (d + margin).min(k)
+                    }
+                    None => k,
+                };
+                if rank == k {
+                    tracker.seed(vals, ws.vectors());
+                } else {
+                    tracker.seed(&vals[..rank], &ws.vectors().leading_cols(rank));
+                }
             }
             music_paths_coarse_to_fine_from_eigen(&self.config, &self.cache, &mut scratch.music)
         } else {

@@ -72,6 +72,20 @@ const MAX_SWEEPS: usize = 64;
 /// # Panics
 /// Panics if the matrix is not square or contains non-finite values.
 pub fn hermitian_eigen(a: &CMat) -> HermitianEigen {
+    hermitian_eigen_with_tol(a, 1e-14)
+}
+
+/// [`hermitian_eigen`] with a caller-chosen relative convergence tolerance:
+/// sweeps stop once the off-diagonal norm falls below
+/// `rel_tol · max|a| · n`. The default (`1e-14`) resolves eigenpairs to
+/// machine precision; approximate consumers — the subspace tracker's
+/// Rayleigh–Ritz step, whose output is re-orthonormalized and safety-netted
+/// by a drift threshold anyway — can pass a looser tolerance and save most
+/// of the Jacobi sweeps.
+///
+/// # Panics
+/// Panics if the matrix is not square or contains non-finite values.
+pub fn hermitian_eigen_with_tol(a: &CMat, rel_tol: f64) -> HermitianEigen {
     let n = a.rows();
     assert_eq!(n, a.cols(), "hermitian_eigen requires a square matrix");
     assert!(
@@ -97,7 +111,7 @@ pub fn hermitian_eigen(a: &CMat) -> HermitianEigen {
     let mut v = CMat::identity(n);
 
     let scale = h.max_abs().max(1.0);
-    let tol = scale * 1e-14;
+    let tol = scale * rel_tol;
 
     for _sweep in 0..MAX_SWEEPS {
         let off = off_diagonal_norm(&h);
@@ -177,13 +191,19 @@ fn jacobi_rotate(h: &mut CMat, v: &mut CMat, p: usize, q: usize) {
     let cs = c64::real(c);
     let sn = e_phi.scale(s); // s·e^{iφ}
 
-    // Apply Jᴴ·H·J. Update columns/rows p and q.
+    // Apply Jᴴ·H·J. The column updates walk two contiguous columns in
+    // lockstep (the storage is column-major), so they are expressed over
+    // disjoint column slices; the per-element operations and their order
+    // are identical to the element-indexed form, keeping results bitwise
+    // unchanged.
     let n = h.rows();
-    for k in 0..n {
-        let hkp = h[(k, p)];
-        let hkq = h[(k, q)];
-        h[(k, p)] = hkp * cs - hkq * sn;
-        h[(k, q)] = hkp * sn.conj() + hkq * cs;
+    {
+        let (pcol, qcol) = h.two_cols_mut(p, q);
+        for (hp, hq) in pcol.iter_mut().zip(qcol.iter_mut()) {
+            let (hkp, hkq) = (*hp, *hq);
+            *hp = hkp * cs - hkq * sn;
+            *hq = hkp * sn.conj() + hkq * cs;
+        }
     }
     for k in 0..n {
         let hpk = h[(p, k)];
@@ -198,11 +218,11 @@ fn jacobi_rotate(h: &mut CMat, v: &mut CMat, p: usize, q: usize) {
     h[(p, q)] = c64::ZERO;
 
     // Accumulate the rotation into V (right-multiply).
-    for k in 0..n {
-        let vkp = v[(k, p)];
-        let vkq = v[(k, q)];
-        v[(k, p)] = vkp * cs - vkq * sn;
-        v[(k, q)] = vkp * sn.conj() + vkq * cs;
+    let (vp, vq) = v.two_cols_mut(p, q);
+    for (vpk, vqk) in vp.iter_mut().zip(vq.iter_mut()) {
+        let (vkp, vkq) = (*vpk, *vqk);
+        *vpk = vkp * cs - vkq * sn;
+        *vqk = vkp * sn.conj() + vkq * cs;
     }
 }
 

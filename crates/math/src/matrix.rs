@@ -118,6 +118,36 @@ impl CMat {
         &mut self.data[c * self.rows..(c + 1) * self.rows]
     }
 
+    /// Two distinct columns borrowed mutably at once — the shape a plane
+    /// rotation (Jacobi / Givens) updates in lockstep.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of range.
+    pub fn two_cols_mut(&mut self, a: usize, b: usize) -> (&mut [c64], &mut [c64]) {
+        assert_ne!(a, b, "two_cols_mut needs distinct columns");
+        let n = self.rows;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * n);
+        let first = &mut head[lo * n..(lo + 1) * n];
+        let second = &mut tail[..n];
+        if a < b {
+            (first, second)
+        } else {
+            (second, first)
+        }
+    }
+
+    /// A copy of the first `r` columns (column-major prefix). `r` may be at
+    /// most [`cols`](Self::cols).
+    pub fn leading_cols(&self, r: usize) -> CMat {
+        assert!(r <= self.cols, "leading_cols out of range");
+        CMat {
+            rows: self.rows,
+            cols: r,
+            data: self.data[..r * self.rows].to_vec(),
+        }
+    }
+
     /// Copies a row out (rows are strided).
     pub fn row(&self, r: usize) -> Vec<c64> {
         (0..self.cols).map(|c| self[(r, c)]).collect()
@@ -204,8 +234,13 @@ impl CMat {
             let col = x.col(c);
             for j in 0..n {
                 let cj = col[j].conj();
-                for i in j..n {
-                    self[(i, j)] += col[i] * cj;
+                // Slice the destination column tail once: the accumulation
+                // order (column-by-column, top-down the lower triangle) is
+                // unchanged, so results stay bitwise identical to the
+                // element-indexed form.
+                let dst = &mut self.data[j * n + j..(j + 1) * n];
+                for (d, &s) in dst.iter_mut().zip(&col[j..]) {
+                    *d += s * cj;
                 }
             }
         }
@@ -254,9 +289,12 @@ impl CMat {
             let col = self.col(c);
             for j in 0..n {
                 let cj = col[j].conj();
-                // Fill the lower triangle (i >= j) then mirror.
-                for i in j..n {
-                    out[(i, j)] += col[i] * cj;
+                // Fill the lower triangle (i >= j) then mirror. Slice-based
+                // so the inner loop is bounds-check free; the accumulation
+                // order is identical to the element-indexed form.
+                let dst = &mut out.data[j * n + j..(j + 1) * n];
+                for (d, &s) in dst.iter_mut().zip(&col[j..]) {
+                    *d += s * cj;
                 }
             }
         }

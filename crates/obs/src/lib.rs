@@ -497,7 +497,13 @@ pub struct DiagnosticsSummary {
 /// - when the streaming hot path ran (a `stream.packets` counter is
 ///   present), its counters satisfy the pipeline's accounting identities:
 ///   `stream.packets = stream.warmstart_hit + stream.warmstart_miss` and
-///   `stream.warmstart_miss = stream.anchor + stream.tracker_fallback`.
+///   `stream.warmstart_miss = stream.anchor + stream.tracker_fallback`;
+/// - when the fleet engine ran (a `fleet.ingested` counter is present),
+///   its backpressure and fusion accounting balances:
+///   `fleet.ingested = fleet.accepted + fleet.dropped` (no packet is
+///   silently lost), `fleet.accepted = fleet.processed` (every accepted
+///   packet was drained before shutdown), and
+///   `fleet.fusions = fleet.updates + fleet.fusion_no_fix`.
 ///
 /// The parser is line-oriented and matches the layout that
 /// [`Snapshot::to_diagnostics_json`] emits — it is a schema sanity check,
@@ -524,6 +530,13 @@ pub fn validate_diagnostics(json: &str) -> Result<DiagnosticsSummary, String> {
     let mut stream_miss: i128 = 0;
     let mut stream_anchor: i128 = 0;
     let mut stream_fallback: i128 = 0;
+    let mut fleet_ingested: Option<i128> = None;
+    let mut fleet_accepted: i128 = 0;
+    let mut fleet_dropped: i128 = 0;
+    let mut fleet_processed: i128 = 0;
+    let mut fleet_fusions: i128 = 0;
+    let mut fleet_updates: i128 = 0;
+    let mut fleet_no_fix: i128 = 0;
     for line in json.lines() {
         let line = line.trim();
         if let Some(name) = field_str(line, "name") {
@@ -543,6 +556,13 @@ pub fn validate_diagnostics(json: &str) -> Result<DiagnosticsSummary, String> {
                     "stream.warmstart_miss" => stream_miss = n,
                     "stream.anchor" => stream_anchor = n,
                     "stream.tracker_fallback" => stream_fallback = n,
+                    "fleet.ingested" => fleet_ingested = Some(n),
+                    "fleet.accepted" => fleet_accepted = n,
+                    "fleet.dropped" => fleet_dropped = n,
+                    "fleet.processed" => fleet_processed = n,
+                    "fleet.fusions" => fleet_fusions = n,
+                    "fleet.updates" => fleet_updates = n,
+                    "fleet.fusion_no_fix" => fleet_no_fix = n,
                     _ => {}
                 }
             }
@@ -577,6 +597,29 @@ pub fn validate_diagnostics(json: &str) -> Result<DiagnosticsSummary, String> {
                 "stream counter mismatch: stream.warmstart_miss = {stream_miss} but \
                  anchor + tracker_fallback = {}",
                 stream_anchor + stream_fallback
+            ));
+        }
+    }
+    if let Some(ingested) = fleet_ingested {
+        if ingested != fleet_accepted + fleet_dropped {
+            return Err(format!(
+                "fleet counter mismatch: fleet.ingested = {ingested} but \
+                 accepted + dropped = {} (a packet was silently lost)",
+                fleet_accepted + fleet_dropped
+            ));
+        }
+        if fleet_accepted != fleet_processed {
+            return Err(format!(
+                "fleet counter mismatch: fleet.accepted = {fleet_accepted} but \
+                 fleet.processed = {fleet_processed} (a queue was abandoned \
+                 before draining)"
+            ));
+        }
+        if fleet_fusions != fleet_updates + fleet_no_fix {
+            return Err(format!(
+                "fleet counter mismatch: fleet.fusions = {fleet_fusions} but \
+                 updates + fusion_no_fix = {}",
+                fleet_updates + fleet_no_fix
             ));
         }
     }
@@ -834,6 +877,53 @@ mod tests {
         let json = stream_doc(10, 7, 3, 3, 1);
         let err = validate_diagnostics(&json).unwrap_err();
         assert!(err.contains("stream.warmstart_miss"), "{err}");
+    }
+
+    /// Fleet-identity fixture: a parallel document (ratio check skipped)
+    /// with the given fleet counter totals.
+    fn fleet_doc(
+        ingested: u64,
+        accepted: u64,
+        dropped: u64,
+        processed: u64,
+        fusions: u64,
+        updates: u64,
+        no_fix: u64,
+    ) -> String {
+        let _g = lock();
+        reset();
+        set_enabled(true);
+        time_ns("total", 1_000_000);
+        time_ns("stage.fuse", 100_000);
+        counter("fleet.ingested", ingested);
+        counter("fleet.accepted", accepted);
+        counter("fleet.dropped", dropped);
+        counter("fleet.processed", processed);
+        counter("fleet.fusions", fusions);
+        counter("fleet.updates", updates);
+        counter("fleet.fusion_no_fix", no_fix);
+        value("v.obs", 0.5);
+        set_enabled(false);
+        snapshot().to_diagnostics_json(&[("threads", "4".to_string())])
+    }
+
+    #[test]
+    fn validator_accepts_consistent_fleet_counters() {
+        let json = fleet_doc(100, 90, 10, 90, 5, 3, 2);
+        assert!(validate_diagnostics(&json).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_fleet_counters() {
+        // ingested ≠ accepted + dropped: a packet vanished unaccounted.
+        let err = validate_diagnostics(&fleet_doc(100, 90, 5, 90, 5, 3, 2)).unwrap_err();
+        assert!(err.contains("fleet.ingested"), "{err}");
+        // accepted ≠ processed: a queue was dropped before draining.
+        let err = validate_diagnostics(&fleet_doc(100, 90, 10, 85, 5, 3, 2)).unwrap_err();
+        assert!(err.contains("fleet.processed"), "{err}");
+        // fusions ≠ updates + no_fix.
+        let err = validate_diagnostics(&fleet_doc(100, 90, 10, 90, 5, 3, 1)).unwrap_err();
+        assert!(err.contains("fleet.fusions"), "{err}");
     }
 
     #[test]

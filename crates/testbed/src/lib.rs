@@ -22,11 +22,13 @@
 pub mod apartment;
 pub mod deployment;
 pub mod experiments;
+pub mod fleet;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
 pub use deployment::Deployment;
+pub use fleet::{FleetScenario, FleetScenarioConfig, FleetTarget};
 pub use report::FigureSeries;
 pub use runner::{LinkRecord, LocalizationRecord, Runner, RunnerConfig};
 pub use scenario::Scenario;
