@@ -50,6 +50,7 @@ USAGE:
 
   spotfi fleet [--targets N] [--packets N] [--aps N] [--workers N]
                [--queue N] [--speed M] [--seed S] [--shed]
+               [--loss P] [--drift PPM] [--export-wire frames.bin]
                [--diagnostics out.json]
       (alias: serve) Run the fleet engine: N moving targets on the
       apartment floorplan, their per-AP packet streams interleaved into
@@ -58,6 +59,23 @@ USAGE:
       latency percentiles, and tracking error against ground truth.
       --workers 0 (default) uses all cores; --queue bounds each shard
       queue; --shed switches overflow from blocking to drop-newest.
+      --aps beyond 4 deploys a perimeter ring (up to 32). --loss drops
+      each scheduled packet with probability P; --drift skews each AP's
+      capture clock by a seeded ±PPM factor. --export-wire writes the
+      schedule as spotfi-wire-v1 frames and exits (no engine run).
+
+  spotfi ingest <frames.bin> [--aps N] [--connect sock.path]
+                [--diagnostics out.json]
+      Decode a spotfi-wire-v1 capture and run it through the fleet
+      engine serially, printing frame accounting and fusion results.
+      With --connect, stream the file's bytes to a `serve --listen`
+      socket instead of processing locally (unix only).
+
+  spotfi serve --listen <sock.path> [--aps N] [--workers N] [--queue N]
+               [--shed] [--diagnostics out.json]
+      Bind a unix socket, accept one ingest connection, decode wire
+      frames as they arrive, and fuse them with the fleet engine until
+      the sender hangs up (unix only).
 
   spotfi check-diagnostics <diagnostics.json>
       Validate a --diagnostics export: schema keys present, stage span
@@ -103,6 +121,11 @@ fn run() -> Result<(), ArgError> {
             "queue",
             "aps",
             "speed",
+            "loss",
+            "drift",
+            "listen",
+            "connect",
+            "export-wire",
         ],
     )?;
     match args.positional(0).unwrap_or("help") {
@@ -110,7 +133,14 @@ fn run() -> Result<(), ArgError> {
         "simulate" => cmd_simulate(&args),
         "analyze" => cmd_analyze(&args),
         "scenario" => cmd_scenario(&args),
-        "fleet" | "serve" => cmd_fleet(&args),
+        "fleet" | "serve" => {
+            if args.value("listen").is_some() {
+                cmd_serve(&args)
+            } else {
+                cmd_fleet(&args)
+            }
+        }
+        "ingest" => cmd_ingest(&args),
         "check-diagnostics" => cmd_check_diagnostics(&args),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
@@ -353,13 +383,19 @@ fn cmd_fleet(args: &Args) -> Result<(), ArgError> {
         scenario_cfg.packets_per_link = p;
     }
     if let Some(a) = args.parsed::<usize>("aps")? {
-        scenario_cfg.aps = a.clamp(2, 4);
+        scenario_cfg.aps = a.clamp(2, 32);
     }
     if let Some(s) = args.parsed::<f64>("speed")? {
         scenario_cfg.speed_mps = s.max(0.0);
     }
     if let Some(s) = args.parsed::<u64>("seed")? {
         scenario_cfg.seed = s;
+    }
+    if let Some(l) = args.parsed::<f64>("loss")? {
+        scenario_cfg.loss_rate = l.clamp(0.0, 0.95);
+    }
+    if let Some(d) = args.parsed::<f64>("drift")? {
+        scenario_cfg.clock_drift_ppm = d.max(0.0);
     }
 
     let mut fleet_cfg = spotfi_core::FleetConfig::default();
@@ -389,6 +425,9 @@ fn cmd_fleet(args: &Args) -> Result<(), ArgError> {
         scenario.schedule.len(),
         scenario.targets.len()
     );
+    if let Some(path) = args.value("export-wire") {
+        return export_wire(path, &scenario);
+    }
 
     let diagnostics = diagnostics_begin(args);
     let spotfi = SpotFi::new(SpotFiConfig::fast_test());
@@ -424,8 +463,9 @@ fn cmd_fleet(args: &Args) -> Result<(), ArgError> {
         s.ingested, s.accepted, s.dropped, s.deferred, s.max_queue_depth
     );
     println!(
-        "fusion: {} attempts → {} position updates, {} without a fix, {} stream errors",
-        s.fusions, s.updates, s.fusion_no_fix, s.stream_errors
+        "fusion: {} attempts → {} position updates ({} degraded), {} without a fix, \
+         {} stream errors",
+        s.fusions, s.updates, s.fusion_degraded, s.fusion_no_fix, s.stream_errors
     );
     let lat = |l: &spotfi_core::LatencySummary| {
         format!(
@@ -460,6 +500,220 @@ fn cmd_fleet(args: &Args) -> Result<(), ArgError> {
         println!("no position updates emitted (increase --packets or --targets)");
     }
     Ok(())
+}
+
+/// Serializes a fleet schedule as concatenated `spotfi-wire-v1` frames —
+/// the byte stream a receiver fleet would forward to the fusion server
+/// (`receiver_id` = `ap_id`, `source_id` = `target_id`).
+fn export_wire(path: &str, scenario: &spotfi_testbed::FleetScenario) -> Result<(), ArgError> {
+    let mut bytes = Vec::new();
+    for (i, pkt) in scenario.schedule.iter().enumerate() {
+        let record = from_csi_packet(&pkt.packet, i as u16, 30);
+        bytes.extend_from_slice(&spotfi_io::encode_frame(
+            pkt.ap_id as u16,
+            pkt.target_id,
+            pkt.packet.timestamp_s,
+            &record,
+        ));
+    }
+    std::fs::write(path, &bytes).map_err(|e| ArgError(format!("writing {}: {}", path, e)))?;
+    println!(
+        "wrote {} wire frames ({} bytes) to {}",
+        scenario.schedule.len(),
+        bytes.len(),
+        path
+    );
+    Ok(())
+}
+
+/// The deployment map an ingest endpoint assumes: receiver `i` is AP `i`
+/// of the `n`-AP apartment deployment, identity calibration.
+fn wire_registry(n: usize) -> spotfi_core::ReceiverRegistry {
+    let mut reg = spotfi_core::ReceiverRegistry::new();
+    for (i, ap) in spotfi_testbed::deployed_aps(n).iter().enumerate() {
+        reg.register(
+            i as u32,
+            ap.array,
+            spotfi_core::ReceiverCalibration::default(),
+        );
+    }
+    reg
+}
+
+fn cmd_ingest(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown_flags(&[])?;
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("ingest needs a wire capture file".into()))?;
+    let bytes = std::fs::read(path).map_err(|e| ArgError(format!("reading {}: {}", path, e)))?;
+    if let Some(sock) = args.value("connect") {
+        return ingest_connect(&bytes, sock);
+    }
+    let aps = args.parsed::<usize>("aps")?.unwrap_or(4).clamp(2, 32);
+    let fleet_cfg = spotfi_core::FleetConfig::default();
+    let spotfi = SpotFi::new(SpotFiConfig::fast_test());
+    let diagnostics = diagnostics_begin(args);
+    let (updates, stats, wire) = {
+        let _total = spotfi_obs::span("total");
+        let registry = wire_registry(aps);
+        let mut dec = spotfi_io::WireDecoder::new();
+        let mut packets = Vec::new();
+        let mut sink = |e: spotfi_io::WireEvent| {
+            if let spotfi_io::WireEvent::Frame(f) = e {
+                let p = spotfi_io::packet_from_record(&f.record, f.timestamp_s);
+                if let Some(fp) = registry.fleet_packet(f.receiver_id as u32, f.source_id, p) {
+                    packets.push(fp);
+                }
+            }
+        };
+        for chunk in bytes.chunks(64 * 1024) {
+            dec.feed(chunk, &mut sink);
+        }
+        dec.finish(&mut sink);
+        let (updates, stats) = spotfi_core::run_fleet_serial(&spotfi, &fleet_cfg, &packets);
+        (updates, stats, dec.stats())
+    };
+    // Wire decoding happens outside the instrumented pipeline stages, so
+    // the serial stage-sum/total ratio check does not apply.
+    diagnostics_end(diagnostics, "ingest", 2)?;
+    println!(
+        "wire: received {} = decoded {} + corrupt {} + incomplete {} ({} resync bytes)",
+        wire.received, wire.decoded, wire.corrupt, wire.incomplete, wire.resync_bytes
+    );
+    println!(
+        "fleet: {} packets processed, {} fusions → {} updates ({} degraded, {} no fix)",
+        stats.processed, stats.fusions, stats.updates, stats.fusion_degraded, stats.fusion_no_fix
+    );
+    if updates.is_empty() {
+        println!("no position updates emitted");
+    } else {
+        let last = &updates[updates.len() - 1];
+        println!(
+            "last fix: target {} at ({:.2}, {:.2}) t={:.2}s from {} APs",
+            last.target_id, last.tracked.x, last.tracked.y, last.time_s, last.aps_used
+        );
+    }
+    Ok(())
+}
+
+/// `ingest --connect`: forward the capture's bytes to a `serve --listen`
+/// socket, retrying the connect briefly so the two processes can start in
+/// either order.
+#[cfg(unix)]
+fn ingest_connect(bytes: &[u8], sock: &str) -> Result<(), ArgError> {
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+    let mut stream = None;
+    for _ in 0..50 {
+        match UnixStream::connect(sock) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(100)),
+        }
+    }
+    let mut stream = stream.ok_or_else(|| ArgError(format!("could not connect to {}", sock)))?;
+    for chunk in bytes.chunks(8192) {
+        stream
+            .write_all(chunk)
+            .map_err(|e| ArgError(format!("writing to {}: {}", sock, e)))?;
+    }
+    println!("streamed {} bytes to {}", bytes.len(), sock);
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn ingest_connect(_bytes: &[u8], _sock: &str) -> Result<(), ArgError> {
+    Err(ArgError("--connect requires unix domain sockets".into()))
+}
+
+#[cfg(unix)]
+fn cmd_serve(args: &Args) -> Result<(), ArgError> {
+    use std::io::Read;
+    use std::os::unix::net::UnixListener;
+    args.reject_unknown_flags(&["shed"])?;
+    let sock = args.value("listen").expect("dispatch checked --listen");
+    let aps = args.parsed::<usize>("aps")?.unwrap_or(4).clamp(2, 32);
+    let mut fleet_cfg = spotfi_core::FleetConfig::default();
+    if let Some(w) = args.parsed::<usize>("workers")? {
+        fleet_cfg.workers = w;
+    }
+    if let Some(q) = args.parsed::<usize>("queue")? {
+        fleet_cfg.queue_capacity = q.max(1);
+    }
+    if args.flag("shed") {
+        fleet_cfg.overflow = spotfi_core::OverflowPolicy::DropNewest;
+    }
+    let workers = if fleet_cfg.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        fleet_cfg.workers
+    };
+    fleet_cfg.workers = workers;
+
+    // Replace any stale socket from a previous run.
+    let _ = std::fs::remove_file(sock);
+    let listener =
+        UnixListener::bind(sock).map_err(|e| ArgError(format!("binding {}: {}", sock, e)))?;
+    println!("listening on {} ({} registered receivers)", sock, aps);
+
+    let spotfi = SpotFi::new(SpotFiConfig::fast_test());
+    let diagnostics = diagnostics_begin(args);
+    let (report, wire) = {
+        let _total = spotfi_obs::span("total");
+        let registry = wire_registry(aps);
+        let engine = spotfi_core::FleetEngine::new(spotfi, fleet_cfg);
+        let mut dec = spotfi_io::WireDecoder::new();
+        let (mut conn, _) = listener
+            .accept()
+            .map_err(|e| ArgError(format!("accepting on {}: {}", sock, e)))?;
+        let mut buf = [0u8; 65536];
+        let mut updates = Vec::new();
+        loop {
+            let n = conn
+                .read(&mut buf)
+                .map_err(|e| ArgError(format!("reading from {}: {}", sock, e)))?;
+            if n == 0 {
+                break;
+            }
+            dec.feed(&buf[..n], &mut |e| {
+                if let spotfi_io::WireEvent::Frame(f) = e {
+                    let p = spotfi_io::packet_from_record(&f.record, f.timestamp_s);
+                    if let Some(fp) = registry.fleet_packet(f.receiver_id as u32, f.source_id, p) {
+                        engine.ingest(fp);
+                    }
+                }
+            });
+            updates.extend(engine.try_updates());
+        }
+        dec.finish(&mut |_| {});
+        let mut report = engine.shutdown();
+        updates.append(&mut report.updates);
+        report.updates = updates;
+        (report, dec.stats())
+    };
+    diagnostics_end(diagnostics, "serve", workers + 1)?;
+    let _ = std::fs::remove_file(sock);
+
+    let s = report.stats;
+    println!(
+        "wire: received {} = decoded {} + corrupt {} + incomplete {} ({} resync bytes)",
+        wire.received, wire.decoded, wire.corrupt, wire.incomplete, wire.resync_bytes
+    );
+    println!(
+        "fleet: {} packets processed, {} fusions → {} updates ({} degraded, {} no fix)",
+        s.processed, s.fusions, s.updates, s.fusion_degraded, s.fusion_no_fix
+    );
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_serve(args: &Args) -> Result<(), ArgError> {
+    let _ = args;
+    Err(ArgError(
+        "serve --listen requires unix domain sockets".into(),
+    ))
 }
 
 /// Enables the observability recorder when `--diagnostics PATH` was given;

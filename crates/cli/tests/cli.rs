@@ -97,6 +97,71 @@ fn scenario_runs_trimmed() {
     assert!(text.contains("medians"));
 }
 
+/// The two-process distributed path: `fleet --export-wire` produces a
+/// spotfi-wire-v1 capture, `serve --listen` binds a unix socket, and
+/// `ingest --connect` streams the capture into it. Every frame must be
+/// decoded — no corruption, no truncation — and the server must exit
+/// cleanly on sender hangup.
+#[cfg(unix)]
+#[test]
+fn wire_loopback_round_trip() {
+    use std::process::Stdio;
+    let dir = std::env::temp_dir();
+    let frames = dir.join("spotfi_cli_wire.bin");
+    let sock = dir.join("spotfi_cli_wire.sock");
+    let frames_str = frames.to_str().unwrap();
+    let sock_str = sock.to_str().unwrap();
+    std::fs::remove_file(&sock).ok();
+
+    let exp = spotfi(&[
+        "fleet",
+        "--targets",
+        "2",
+        "--packets",
+        "6",
+        "--aps",
+        "4",
+        "--export-wire",
+        frames_str,
+    ]);
+    assert!(exp.status.success(), "export failed: {}", stderr(&exp));
+    assert!(stdout(&exp).contains("wire frames"));
+
+    let serve = Command::new(env!("CARGO_BIN_EXE_spotfi"))
+        .args([
+            "serve",
+            "--listen",
+            sock_str,
+            "--aps",
+            "4",
+            "--workers",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let ing = spotfi(&["ingest", frames_str, "--connect", sock_str]);
+    let out = serve.wait_with_output().expect("serve exit");
+    std::fs::remove_file(&frames).ok();
+    std::fs::remove_file(&sock).ok();
+
+    assert!(ing.status.success(), "connect failed: {}", stderr(&ing));
+    assert!(stdout(&ing).contains("streamed"));
+    assert!(
+        out.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("corrupt 0 + incomplete 0"),
+        "lossless loopback must decode every frame:\n{}",
+        text
+    );
+    assert!(text.contains("packets processed"), "{}", text);
+}
+
 #[test]
 fn figures_rejects_unknown_figure() {
     let out = spotfi(&["figures", "fig99", "--fast"]);

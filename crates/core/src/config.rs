@@ -353,6 +353,26 @@ pub struct FleetConfig {
     /// Minimum APs with a usable direct path before a fusion attempts to
     /// localize; below this the fusion counts as `fleet.fusion_no_fix`.
     pub min_fusion_aps: usize,
+    /// Bounded per-target reorder window, packets. Network delivery may
+    /// reorder packets across receivers; admission buffers up to this many
+    /// packets per target and releases them in timestamp order, so
+    /// unsynchronized per-AP streams merge into one coherent timeline.
+    /// `0`/`1` disables buffering — packets process in arrival order, the
+    /// legacy bit-exact behavior. Packets arriving later than an already
+    /// released timestamp are still processed, counted as
+    /// `fleet.late_packets`.
+    pub reorder_window: usize,
+    /// Fusion-time staleness horizon, seconds: window entries older than
+    /// this relative to the fusing packet's timestamp are evicted, so a
+    /// silent AP ages out of the fix instead of pinning it to stale
+    /// bearings forever. Non-finite or ≤ 0 disables eviction.
+    pub ap_stale_s: f64,
+    /// Measurement-noise widening for degraded fusions (fewer usable APs
+    /// than the target has ever seen): the smoother's measurement std is
+    /// scaled by `sqrt(deployed / usable) × degraded_std_scale`, so fixes
+    /// from a depleted AP set are trusted less instead of being dropped.
+    /// `0` disables widening.
+    pub degraded_std_scale: f64,
     /// Kalman smoother parameters for the per-target track.
     pub tracker: crate::tracking::TrackerConfig,
     /// Optional localization search bounds (e.g. the building outline).
@@ -370,6 +390,9 @@ impl Default for FleetConfig {
             fusion_interval: 32,
             window_packets: 8,
             min_fusion_aps: 2,
+            reorder_window: 1,
+            ap_stale_s: 3.0,
+            degraded_std_scale: 1.0,
             tracker: crate::tracking::TrackerConfig::default(),
             bounds: None,
         }

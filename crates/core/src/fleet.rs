@@ -101,6 +101,10 @@ pub struct FleetUpdate {
     pub outcome: UpdateOutcome,
     /// How many APs contributed a usable direct path.
     pub aps_used: usize,
+    /// `true` if fewer APs contributed than the target has ever seen —
+    /// the fix was produced under degraded coverage with a widened
+    /// measurement covariance (see `FleetConfig::degraded_std_scale`).
+    pub degraded: bool,
 }
 
 /// Backpressure and throughput accounting, aggregated across the run.
@@ -133,6 +137,13 @@ pub struct FleetStats {
     pub updates: u64,
     /// Fusions with too few usable APs or a failed localize.
     pub fusion_no_fix: u64,
+    /// Updates emitted from fewer APs than the target has ever seen
+    /// (degraded coverage; a subset of `updates`).
+    pub fusion_degraded: u64,
+    /// Packets admitted with a timestamp older than one already released
+    /// from the target's reorder window (processed anyway, out of ideal
+    /// order).
+    pub late_packets: u64,
     /// Deepest any shard queue got when a worker woke to drain it.
     pub max_queue_depth: u64,
 }
@@ -306,6 +317,8 @@ struct StatsInner {
     fusions: AtomicU64,
     updates: AtomicU64,
     fusion_no_fix: AtomicU64,
+    fusion_degraded: AtomicU64,
+    late_packets: AtomicU64,
     max_queue_depth: AtomicU64,
 }
 
@@ -322,6 +335,8 @@ impl StatsInner {
             fusions: ld(&self.fusions),
             updates: ld(&self.updates),
             fusion_no_fix: ld(&self.fusion_no_fix),
+            fusion_degraded: ld(&self.fusion_degraded),
+            late_packets: ld(&self.late_packets),
             max_queue_depth: ld(&self.max_queue_depth),
         }
     }
@@ -332,6 +347,7 @@ impl StatsInner {
 struct WindowEntry {
     estimates: Vec<crate::peaks::PathEstimate>,
     rssi_dbm: f64,
+    time_s: f64,
 }
 
 /// One (target, AP) session on a shard: the persistent streaming state
@@ -360,15 +376,37 @@ struct ProcessDelta {
     fused: bool,
     emitted: bool,
     no_fix: bool,
+    degraded: bool,
 }
 
-/// One worker's entire world: the shard's target map and the single
-/// shared scratch. Also runs inline as the serial determinism reference
-/// ([`run_fleet_serial`]).
+/// A packet admitted to a shard but possibly still held in the reorder
+/// window. `enqueued` is `None` on the serial reference path (no latency
+/// accounting there).
+struct PendingJob {
+    pkt: FleetPacket,
+    enqueued: Option<Instant>,
+}
+
+/// Per-target bounded reorder buffer: network delivery across receivers
+/// is unsynchronized, so packets are admitted here and released in
+/// timestamp order once the buffer holds `reorder_window` packets.
+struct TargetReorder {
+    /// Held packets, sorted ascending by timestamp (ties keep arrival
+    /// order).
+    buf: Vec<PendingJob>,
+    /// Timestamp of the last released packet; arrivals older than this are
+    /// late (counted, still processed).
+    last_released_s: f64,
+}
+
+/// One worker's entire world: the shard's target map, the per-target
+/// reorder windows, and the single shared scratch. Also runs inline as
+/// the serial determinism reference ([`run_fleet_serial`]).
 struct ShardWorker {
     cfg: FleetConfig,
     scratch: PacketScratch,
     targets: HashMap<u64, TargetState>,
+    reorder: HashMap<u64, TargetReorder>,
 }
 
 impl ShardWorker {
@@ -377,6 +415,63 @@ impl ShardWorker {
             cfg,
             scratch: PacketScratch::new(spotfi.config()),
             targets: HashMap::new(),
+            reorder: HashMap::new(),
+        }
+    }
+
+    /// Admits one packet: with `reorder_window ≤ 1` it is released
+    /// immediately (the legacy bit-exact path); otherwise it is buffered
+    /// and the oldest packet is released once the target's window is full.
+    /// Returns how many admitted packets were late (older than an already
+    /// released timestamp).
+    fn admit(&mut self, job: PendingJob, released: &mut Vec<PendingJob>) -> u64 {
+        let window = self.cfg.reorder_window;
+        if window <= 1 {
+            released.push(job);
+            return 0;
+        }
+        let entry = self
+            .reorder
+            .entry(job.pkt.target_id)
+            .or_insert_with(|| TargetReorder {
+                buf: Vec::with_capacity(window),
+                last_released_s: f64::NEG_INFINITY,
+            });
+        let ts = job.pkt.packet.timestamp_s;
+        let late = (ts < entry.last_released_s) as u64;
+        if late > 0 {
+            spotfi_obs::counter("fleet.late_packets", 1);
+        }
+        // Insert after any equal timestamps so arrival order breaks ties.
+        let at = entry
+            .buf
+            .partition_point(|j| j.pkt.packet.timestamp_s <= ts);
+        entry.buf.insert(at, job);
+        while entry.buf.len() >= window.max(1) {
+            let next = entry.buf.remove(0);
+            entry.last_released_s = next.pkt.packet.timestamp_s;
+            released.push(next);
+        }
+        late
+    }
+
+    /// Drains every reorder buffer (stream end / shutdown). Release order
+    /// is `(target_id, timestamp, arrival)` — independent of the hash
+    /// map's iteration order, so serial and engine flushes agree.
+    fn flush_reorder(&mut self, released: &mut Vec<PendingJob>) {
+        let mut targets: Vec<u64> = self
+            .reorder
+            .iter()
+            .filter(|(_, r)| !r.buf.is_empty())
+            .map(|(&t, _)| t)
+            .collect();
+        targets.sort_unstable();
+        for t in targets {
+            let entry = self.reorder.get_mut(&t).expect("reorder entry");
+            for job in entry.buf.drain(..) {
+                entry.last_released_s = job.pkt.packet.timestamp_s;
+                released.push(job);
+            }
         }
     }
 
@@ -423,6 +518,7 @@ impl ShardWorker {
                 slot.window.push_back(WindowEntry {
                     estimates,
                     rssi_dbm: pkt.packet.rssi_dbm,
+                    time_s: pkt.packet.timestamp_s,
                 });
             }
             Err(_) => {
@@ -440,6 +536,22 @@ impl ShardWorker {
         delta.fused = true;
         spotfi_obs::counter("fleet.fusions", 1);
         let _fuse = spotfi_obs::span("stage.fuse");
+
+        // Evict stale window entries first: an AP that went silent (late,
+        // lost, offline) ages out of the fix instead of pinning the target
+        // to its last heard bearing forever.
+        let now = pkt.packet.timestamp_s;
+        if cfg.ap_stale_s.is_finite() && cfg.ap_stale_s > 0.0 {
+            for slot in &mut target.aps {
+                while let Some(front) = slot.window.front() {
+                    if now - front.time_s > cfg.ap_stale_s {
+                        slot.window.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
 
         // Per AP: cluster the window's estimates and pick the direct path,
         // exactly the Algorithm 2 tail the batch pipeline runs per AP.
@@ -477,6 +589,23 @@ impl ShardWorker {
             delta.no_fix = true;
             return delta;
         }
+        // Degraded coverage: fewer APs contributed than this target has
+        // ever seen (missing, late, or stale-evicted). Still localize —
+        // ≥ min_fusion_aps bearings fix a position — but widen the
+        // smoother's measurement covariance in proportion to the missing
+        // information, so a depleted fix pulls the track more gently.
+        let deployed = target.aps.len();
+        let usable = measurements.len();
+        let degraded = usable < deployed;
+        let std_override = if degraded && cfg.degraded_std_scale > 0.0 {
+            Some(
+                cfg.tracker.measurement_std_m
+                    * (deployed as f64 / usable as f64).sqrt()
+                    * cfg.degraded_std_scale,
+            )
+        } else {
+            None
+        };
         let fix = match cfg.bounds {
             Some(b) => localize_in_bounds(&measurements, b, &pcfg.localize),
             None => localize(&measurements, &pcfg.localize),
@@ -484,10 +613,14 @@ impl ShardWorker {
         match fix {
             Ok(est) => {
                 let time_s = pkt.packet.timestamp_s;
-                let outcome = target.tracker.update(time_s, est.position, None);
+                let outcome = target.tracker.update(time_s, est.position, std_override);
                 let tracked = target.tracker.position().unwrap_or(est.position);
                 let tracked_velocity = target.tracker.velocity().unwrap_or((0.0, 0.0));
                 spotfi_obs::counter("fleet.updates", 1);
+                if degraded {
+                    spotfi_obs::counter("fleet.fusion_degraded", 1);
+                    delta.degraded = true;
+                }
                 out.push(FleetUpdate {
                     target_id: pkt.target_id,
                     time_s,
@@ -496,6 +629,7 @@ impl ShardWorker {
                     tracked_velocity,
                     outcome,
                     aps_used: measurements.len(),
+                    degraded,
                 });
                 delta.emitted = true;
             }
@@ -660,6 +794,54 @@ impl Drop for FleetEngine {
     }
 }
 
+/// Runs one released packet through the worker and does all engine-side
+/// accounting (atomics, latency samples, update forwarding).
+#[allow(clippy::too_many_arguments)]
+fn run_released(
+    worker: &mut ShardWorker,
+    spotfi: &SpotFi,
+    job: PendingJob,
+    tx: &Sender<FleetUpdate>,
+    stats: &StatsInner,
+    out: &mut Vec<FleetUpdate>,
+    packet_lat_ns: &mut Vec<u64>,
+    update_lat_ns: &mut Vec<u64>,
+) {
+    out.clear();
+    let delta = worker.process(spotfi, &job.pkt, out);
+    if let Some(enqueued) = job.enqueued {
+        let lat = enqueued.elapsed().as_nanos() as u64;
+        packet_lat_ns.push(lat);
+        spotfi_obs::value("runtime.fleet_packet_latency_us", lat as f64 / 1e3);
+    }
+    stats.processed.fetch_add(1, Ordering::Relaxed);
+    if delta.error {
+        stats.stream_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if delta.fused {
+        stats.fusions.fetch_add(1, Ordering::Relaxed);
+    }
+    if delta.no_fix {
+        stats.fusion_no_fix.fetch_add(1, Ordering::Relaxed);
+    }
+    if delta.degraded {
+        stats.fusion_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    if delta.emitted {
+        if let Some(enqueued) = job.enqueued {
+            let ulat = enqueued.elapsed().as_nanos() as u64;
+            update_lat_ns.push(ulat);
+            spotfi_obs::value("runtime.fleet_update_latency_us", ulat as f64 / 1e3);
+        }
+        stats.updates.fetch_add(1, Ordering::Relaxed);
+        for u in out.drain(..) {
+            // The receiver only disappears mid-run if the engine was
+            // leaked; dropping the update is the only sane option.
+            let _ = tx.send(u);
+        }
+    }
+}
+
 fn worker_loop(
     spotfi: &SpotFi,
     cfg: FleetConfig,
@@ -670,6 +852,7 @@ fn worker_loop(
     let mut worker = ShardWorker::new(spotfi, cfg);
     let batch_size = cfg.batch_size.max(1);
     let mut batch: Vec<Job> = Vec::with_capacity(batch_size);
+    let mut released: Vec<PendingJob> = Vec::new();
     let mut out: Vec<FleetUpdate> = Vec::new();
     let mut packet_lat_ns: Vec<u64> = Vec::new();
     let mut update_lat_ns: Vec<u64> = Vec::new();
@@ -680,33 +863,46 @@ fn worker_loop(
         spotfi_obs::value("runtime.fleet_queue_depth", depth as f64);
         spotfi_obs::value("runtime.fleet_batch_packets", batch.len() as f64);
         for job in batch.drain(..) {
-            out.clear();
-            let delta = worker.process(spotfi, &job.pkt, &mut out);
-            let lat = job.enqueued.elapsed().as_nanos() as u64;
-            packet_lat_ns.push(lat);
-            spotfi_obs::value("runtime.fleet_packet_latency_us", lat as f64 / 1e3);
-            stats.processed.fetch_add(1, Ordering::Relaxed);
-            if delta.error {
-                stats.stream_errors.fetch_add(1, Ordering::Relaxed);
+            released.clear();
+            let late = worker.admit(
+                PendingJob {
+                    pkt: job.pkt,
+                    enqueued: Some(job.enqueued),
+                },
+                &mut released,
+            );
+            if late > 0 {
+                stats.late_packets.fetch_add(late, Ordering::Relaxed);
             }
-            if delta.fused {
-                stats.fusions.fetch_add(1, Ordering::Relaxed);
-            }
-            if delta.no_fix {
-                stats.fusion_no_fix.fetch_add(1, Ordering::Relaxed);
-            }
-            if delta.emitted {
-                let ulat = job.enqueued.elapsed().as_nanos() as u64;
-                update_lat_ns.push(ulat);
-                spotfi_obs::value("runtime.fleet_update_latency_us", ulat as f64 / 1e3);
-                stats.updates.fetch_add(1, Ordering::Relaxed);
-                for u in out.drain(..) {
-                    // The receiver only disappears mid-run if the engine was
-                    // leaked; dropping the update is the only sane option.
-                    let _ = tx.send(u);
-                }
+            for pj in released.drain(..) {
+                run_released(
+                    &mut worker,
+                    spotfi,
+                    pj,
+                    tx,
+                    stats,
+                    &mut out,
+                    &mut packet_lat_ns,
+                    &mut update_lat_ns,
+                );
             }
         }
+    }
+    // Queue closed: drain the reorder windows so every accepted packet is
+    // processed (`accepted = processed` after shutdown).
+    released.clear();
+    worker.flush_reorder(&mut released);
+    for pj in released.drain(..) {
+        run_released(
+            &mut worker,
+            spotfi,
+            pj,
+            tx,
+            stats,
+            &mut out,
+            &mut packet_lat_ns,
+            &mut update_lat_ns,
+        );
     }
     // Merge this worker's per-thread observability shard before the thread
     // exits — scoped joins don't run thread-local destructors.
@@ -729,19 +925,39 @@ pub fn run_fleet_serial(
     let mut worker = ShardWorker::new(spotfi, *cfg);
     let mut updates = Vec::new();
     let mut stats = FleetStats::default();
+    let mut released: Vec<PendingJob> = Vec::new();
+    let run = |worker: &mut ShardWorker,
+               released: &mut Vec<PendingJob>,
+               stats: &mut FleetStats,
+               updates: &mut Vec<FleetUpdate>| {
+        for pj in released.drain(..) {
+            stats.processed += 1;
+            let delta = worker.process(spotfi, &pj.pkt, updates);
+            stats.stream_errors += delta.error as u64;
+            stats.fusions += delta.fused as u64;
+            stats.updates += delta.emitted as u64;
+            stats.fusion_no_fix += delta.no_fix as u64;
+            stats.fusion_degraded += delta.degraded as u64;
+        }
+    };
     for pkt in schedule {
         spotfi_obs::counter("fleet.ingested", 1);
         spotfi_obs::counter("fleet.accepted", 1);
-        spotfi_obs::counter("fleet.processed", 1);
         stats.ingested += 1;
         stats.accepted += 1;
-        stats.processed += 1;
-        let delta = worker.process(spotfi, pkt, &mut updates);
-        stats.stream_errors += delta.error as u64;
-        stats.fusions += delta.fused as u64;
-        stats.updates += delta.emitted as u64;
-        stats.fusion_no_fix += delta.no_fix as u64;
+        released.clear();
+        stats.late_packets += worker.admit(
+            PendingJob {
+                pkt: pkt.clone(),
+                enqueued: None,
+            },
+            &mut released,
+        );
+        run(&mut worker, &mut released, &mut stats, &mut updates);
     }
+    released.clear();
+    worker.flush_reorder(&mut released);
+    run(&mut worker, &mut released, &mut stats, &mut updates);
     (updates, stats)
 }
 

@@ -53,6 +53,7 @@ pub mod config;
 pub mod error;
 pub mod esprit;
 pub mod fleet;
+pub mod ingest;
 pub mod likelihood;
 pub mod localize;
 pub mod music;
@@ -76,6 +77,7 @@ pub use fleet::{
     run_fleet_serial, FleetEngine, FleetPacket, FleetReport, FleetStats, FleetUpdate,
     LatencySummary, PushResult,
 };
+pub use ingest::{ReceiverCalibration, ReceiverEntry, ReceiverRegistry};
 pub use likelihood::{score_clusters, select_direct_path, DirectPath};
 pub use localize::{localize, ApMeasurement, LocationEstimate, SearchBounds};
 pub use music::{

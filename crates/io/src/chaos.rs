@@ -1,0 +1,231 @@
+//! Deterministic fault injection for wire-frame streams.
+//!
+//! The ingest path is the first network-facing subsystem, so its tests
+//! must prove behavior under the network's actual failure modes: dropped,
+//! corrupted, truncated, and reordered frames, delivered in arbitrary
+//! chunk fragments. This module mangles a frame stream with a seeded
+//! in-tree RNG so every failure scenario is exactly reproducible from its
+//! seed, and reports precisely what it did so tests can assert the
+//! decoder's accounting against ground truth.
+
+use spotfi_channel::Rng;
+
+/// Knobs for [`mangle_frames`]. All rates are per-frame probabilities in
+/// `[0, 1]`, drawn independently in drop → corrupt → truncate order (at
+/// most one fault per frame).
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// RNG seed; identical seeds reproduce identical mangling.
+    pub seed: u64,
+    /// Probability a frame is dropped entirely.
+    pub drop_rate: f64,
+    /// Probability one payload byte is XOR-flipped (past the magic, so the
+    /// frame is still *received* and must be counted corrupt).
+    pub corrupt_rate: f64,
+    /// Probability a frame is cut off mid-transfer.
+    pub truncate_rate: f64,
+    /// Maximum distance a frame may move from its original position
+    /// (bounded reorder, like UDP over a short path). `0` or `1` keeps
+    /// original order.
+    pub reorder_window: usize,
+}
+
+impl ChaosConfig {
+    /// No faults at all; useful as the control arm of a chaos test.
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            truncate_rate: 0.0,
+            reorder_window: 0,
+        }
+    }
+}
+
+/// Ground truth of what [`mangle_frames`] did, for accounting assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Frames in the input stream.
+    pub frames_in: u64,
+    /// Frames removed entirely.
+    pub dropped: u64,
+    /// Frames with one byte XOR-flipped.
+    pub corrupted: u64,
+    /// Frames cut off mid-transfer.
+    pub truncated: u64,
+    /// Frames emitted at a different index than they arrived.
+    pub reordered: u64,
+}
+
+/// Applies drops, corruption, truncation, and bounded reordering to a
+/// frame stream. Returns the surviving (possibly mangled) frames plus a
+/// report of exactly what happened.
+pub fn mangle_frames(frames: &[Vec<u8>], cfg: &ChaosConfig) -> (Vec<Vec<u8>>, ChaosReport) {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut report = ChaosReport {
+        frames_in: frames.len() as u64,
+        ..Default::default()
+    };
+    let mut out: Vec<Vec<u8>> = Vec::with_capacity(frames.len());
+    for frame in frames {
+        let roll: f64 = rng.gen();
+        if roll < cfg.drop_rate {
+            report.dropped += 1;
+            continue;
+        }
+        if roll < cfg.drop_rate + cfg.corrupt_rate {
+            let mut bad = frame.clone();
+            if bad.len() > 4 {
+                // Flip a byte past the 4-byte magic with a nonzero mask,
+                // so the frame stays findable but always fails its CRC.
+                let idx = 4 + (rng.next_u64() % (bad.len() as u64 - 4)) as usize;
+                let mask = (rng.next_u64() % 255) as u8 + 1;
+                bad[idx] ^= mask;
+                report.corrupted += 1;
+            }
+            out.push(bad);
+            continue;
+        }
+        if roll < cfg.drop_rate + cfg.corrupt_rate + cfg.truncate_rate && frame.len() > 5 {
+            // Keep at least the magic + 1 byte but never the whole frame.
+            let keep = 5 + (rng.next_u64() % (frame.len() as u64 - 5)) as usize;
+            out.push(frame[..keep].to_vec());
+            report.truncated += 1;
+            continue;
+        }
+        out.push(frame.clone());
+    }
+    if cfg.reorder_window > 1 && out.len() > 1 {
+        // Fisher–Yates within consecutive blocks of `reorder_window`
+        // frames: no frame drifts more than `reorder_window - 1` slots in
+        // either direction, and the result is fully seed-deterministic.
+        let before = out.clone();
+        for block_start in (0..out.len()).step_by(cfg.reorder_window) {
+            let block_end = (block_start + cfg.reorder_window).min(out.len());
+            for i in block_start..block_end {
+                let span = (block_end - i) as u64;
+                let j = i + (rng.next_u64() % span) as usize;
+                if i != j {
+                    out.swap(i, j);
+                }
+            }
+        }
+        report.reordered = before.iter().zip(&out).filter(|(a, b)| a != b).count() as u64;
+    }
+    (out, report)
+}
+
+/// Splits a byte stream into random-size chunks (each in
+/// `[min_chunk, max_chunk]`), simulating arbitrary socket read boundaries.
+/// Concatenating the chunks reproduces `bytes` exactly.
+pub fn fragment(bytes: &[u8], seed: u64, min_chunk: usize, max_chunk: usize) -> Vec<Vec<u8>> {
+    assert!(min_chunk >= 1 && max_chunk >= min_chunk);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut chunks = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let span = (max_chunk - min_chunk + 1) as u64;
+        let take = (min_chunk + (rng.next_u64() % span) as usize).min(bytes.len() - pos);
+        chunks.push(bytes[pos..pos + take].to_vec());
+        pos += take;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                let mut f = b"SFW1".to_vec();
+                f.extend((0..32).map(|b| (i * 37 + b) as u8));
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_mangling() {
+        let input = frames(64);
+        let cfg = ChaosConfig {
+            seed: 0xC4A05,
+            drop_rate: 0.1,
+            corrupt_rate: 0.1,
+            truncate_rate: 0.05,
+            reorder_window: 4,
+        };
+        let (a, ra) = mangle_frames(&input, &cfg);
+        let (b, rb) = mangle_frames(&input, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert_eq!(
+            ra.frames_in - ra.dropped,
+            a.len() as u64,
+            "every non-dropped frame must be emitted"
+        );
+    }
+
+    #[test]
+    fn clean_config_is_identity() {
+        let input = frames(16);
+        let (out, report) = mangle_frames(&input, &ChaosConfig::clean(7));
+        assert_eq!(out, input);
+        assert_eq!(report.dropped + report.corrupted + report.truncated, 0);
+    }
+
+    #[test]
+    fn corruption_always_changes_bytes_past_magic() {
+        let input = frames(200);
+        let cfg = ChaosConfig {
+            seed: 3,
+            drop_rate: 0.0,
+            corrupt_rate: 1.0,
+            truncate_rate: 0.0,
+            reorder_window: 0,
+        };
+        let (out, report) = mangle_frames(&input, &cfg);
+        assert_eq!(report.corrupted, input.len() as u64);
+        for (orig, bad) in input.iter().zip(&out) {
+            assert_eq!(&bad[..4], b"SFW1", "magic must survive corruption");
+            assert_ne!(orig, bad);
+            assert_eq!(orig.len(), bad.len());
+        }
+    }
+
+    #[test]
+    fn reorder_is_bounded_by_window() {
+        let input = frames(128);
+        let cfg = ChaosConfig {
+            seed: 11,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            truncate_rate: 0.0,
+            reorder_window: 4,
+        };
+        let (out, report) = mangle_frames(&input, &cfg);
+        assert!(report.reordered > 0, "window 4 over 128 frames must move");
+        for (slot, frame) in out.iter().enumerate() {
+            let src = input.iter().position(|f| f == frame).unwrap();
+            assert!(
+                slot.abs_diff(src) < cfg.reorder_window,
+                "frame {src} drifted to slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn fragment_concatenates_back_to_input() {
+        let bytes: Vec<u8> = (0..997).map(|i| (i % 251) as u8).collect();
+        for (min, max) in [(1, 1), (1, 7), (13, 64), (1000, 2000)] {
+            let chunks = fragment(&bytes, 0xF0, min, max);
+            let glued: Vec<u8> = chunks.concat();
+            assert_eq!(glued, bytes);
+            for c in &chunks[..chunks.len() - 1] {
+                assert!(c.len() >= min && c.len() <= max);
+            }
+        }
+    }
+}

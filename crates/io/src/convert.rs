@@ -39,6 +39,19 @@ pub fn to_csi_packets(records: &[BfeeRecord]) -> Vec<CsiPacket> {
         .collect()
 }
 
+/// Converts one record into a [`CsiPacket`] at an externally supplied
+/// timestamp — the wire-ingest path, where the frame header carries the
+/// receiver's capture clock and the NIC's 32-bit counter is not trusted
+/// across receivers.
+pub fn packet_from_record(record: &BfeeRecord, timestamp_s: f64) -> CsiPacket {
+    CsiPacket {
+        csi: scaled_csi(record),
+        rssi_dbm: record.total_rssi_dbm(),
+        timestamp_s,
+        injected_sto_s: 0.0, // Unknown for wire captures.
+    }
+}
+
 /// Converts a (typically simulated) packet into a beamforming record whose
 /// raw CSI occupies the NIC's 8-bit range. RSSI is encoded into `rssi_a`
 /// with the reference −44 dB offset and the given AGC.

@@ -16,6 +16,7 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 use crate::bfee::{BfeeRecord, BFEE_CODE};
+use crate::stream::{DatEvent, DatStreamDecoder};
 
 /// Reads all beamforming records from a `.dat` byte stream. Malformed
 /// `0xBB` records are skipped (counted in the second tuple element), other
@@ -44,36 +45,41 @@ use crate::bfee::{BfeeRecord, BFEE_CODE};
 /// assert_eq!(back[0].timestamp_low, 123);
 /// ```
 pub fn read_dat(bytes: &[u8]) -> (Vec<BfeeRecord>, usize) {
+    let mut decoder = DatStreamDecoder::new();
     let mut records = Vec::new();
-    let mut skipped = 0usize;
-    let mut pos = 0usize;
-    while pos + 3 <= bytes.len() {
-        let len = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]) as usize;
-        if len == 0 {
-            break; // Corrupt framing: zero-length record.
+    let mut sink = |e: DatEvent| {
+        if let DatEvent::Record(r) = e {
+            records.push(*r);
         }
-        let start = pos + 2;
-        let end = start + len;
-        if end > bytes.len() {
-            break; // Trailing partial record.
-        }
-        let code = bytes[start];
-        if code == BFEE_CODE {
-            match BfeeRecord::parse(&bytes[start + 1..end]) {
-                Ok(r) => records.push(r),
-                Err(_) => skipped += 1,
-            }
-        }
-        pos = end;
-    }
-    (records, skipped)
+    };
+    decoder.feed(bytes, &mut sink);
+    decoder.finish(&mut sink);
+    (records, decoder.stats().malformed as usize)
 }
 
-/// Reads a `.dat` file from disk.
+/// Reads a `.dat` file from disk. The file is streamed through
+/// [`DatStreamDecoder`] in fixed-size chunks, so records spanning a read
+/// boundary are handled like any other chunk split — the whole file is
+/// never required to fit one read.
 pub fn read_dat_file(path: impl AsRef<Path>) -> io::Result<Vec<BfeeRecord>> {
-    let mut bytes = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
-    Ok(read_dat(&bytes).0)
+    let mut file = std::fs::File::open(path)?;
+    let mut decoder = DatStreamDecoder::new();
+    let mut records = Vec::new();
+    let mut sink = |e: DatEvent| {
+        if let DatEvent::Record(r) = e {
+            records.push(*r);
+        }
+    };
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        decoder.feed(&buf[..n], &mut sink);
+    }
+    decoder.finish(&mut sink);
+    Ok(records)
 }
 
 /// Serializes beamforming records into `.dat` framing.

@@ -1,0 +1,291 @@
+//! Incremental streaming decoder for the `.dat` record framing.
+//!
+//! [`read_dat`](crate::read_dat) assumes it sees the whole capture at
+//! once; a live receiver does not — records arrive over a socket in
+//! arbitrary chunks, and a record routinely spans a read boundary. The
+//! [`DatStreamDecoder`] owns exactly that partial-record buffering: feed
+//! it byte chunks of any size and it yields every complete record, in
+//! order, with byte-identical results to one-shot parsing.
+//!
+//! ### Zero copy
+//!
+//! Records fully contained in a fed chunk are parsed straight out of the
+//! caller's buffer — nothing is staged through an internal buffer. Only
+//! the trailing partial record of a chunk (at most one frame, ≤ 64 KiB by
+//! the u16 length field) is buffered until the next chunk completes it.
+//!
+//! ### Resynchronization
+//!
+//! Corrupt framing never wedges or spins the decoder:
+//! * a zero length field (impossible in well-formed framing) slides the
+//!   scan forward one byte per step until plausible framing reappears;
+//! * a length-consistent `0xBB` record that fails to parse is reported as
+//!   [`DatEvent::Malformed`] and skipped as one frame (its framing was
+//!   self-consistent, so the next frame boundary is trusted);
+//! * [`finish`](DatStreamDecoder::finish) reports a buffered partial
+//!   record (a capture cut off mid-write) as [`DatEvent::Incomplete`].
+//!
+//! Every step consumes at least one byte, so progress is guaranteed on
+//! arbitrary garbage.
+
+use crate::bfee::{BfeeRecord, ParseError, BFEE_CODE};
+
+/// One event from the streaming scan.
+#[derive(Clone, Debug)]
+pub enum DatEvent {
+    /// A complete, well-formed beamforming record.
+    Record(Box<BfeeRecord>),
+    /// A complete record of a non-`0xBB` code (skipped, like `read_dat`).
+    Skipped {
+        /// The record code byte.
+        code: u8,
+        /// Body length (including the code byte) from the frame header.
+        len: usize,
+    },
+    /// A length-consistent `0xBB` record whose body failed to parse.
+    Malformed(ParseError),
+    /// The scan lost framing (zero length field) and is sliding forward
+    /// byte-by-byte. Emitted once per desync run; the byte count is in
+    /// [`StreamStats::resync_bytes`].
+    Desync,
+    /// End of stream with a buffered partial record (truncated capture).
+    Incomplete {
+        /// Bytes of the partial record that were buffered.
+        buffered: usize,
+    },
+}
+
+/// Running accounting of everything the decoder has seen.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Total bytes fed.
+    pub bytes: u64,
+    /// Complete `0xBB` records successfully parsed.
+    pub records: u64,
+    /// Complete records of other codes, skipped.
+    pub skipped_codes: u64,
+    /// Length-consistent `0xBB` records that failed to parse.
+    pub malformed: u64,
+    /// Bytes slid over while resynchronizing after corrupt framing.
+    pub resync_bytes: u64,
+    /// Partial records reported at [`DatStreamDecoder::finish`] (0 or 1
+    /// per stream).
+    pub incomplete: u64,
+}
+
+/// Incremental `.dat` decoder; see the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct DatStreamDecoder {
+    pending: Vec<u8>,
+    stats: StreamStats,
+    in_desync: bool,
+}
+
+impl DatStreamDecoder {
+    /// A fresh decoder with empty buffer and zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Running stats.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Bytes currently buffered as a partial record.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feeds one chunk of bytes, invoking `on` for every completed event.
+    /// Chunk boundaries are arbitrary — a record may span any number of
+    /// chunks.
+    pub fn feed(&mut self, chunk: &[u8], on: &mut dyn FnMut(DatEvent)) {
+        self.stats.bytes += chunk.len() as u64;
+        let mut input = chunk;
+        // Complete the buffered partial record first, copying only the
+        // bytes that record still needs.
+        while !input.is_empty() && !self.pending.is_empty() {
+            let need = Self::record_need(&self.pending).max(1);
+            let take = need.min(input.len());
+            self.pending.extend_from_slice(&input[..take]);
+            input = &input[take..];
+            let consumed = scan(
+                &self.pending,
+                &mut self.stats,
+                &mut self.in_desync,
+                &mut *on,
+            );
+            self.pending.drain(..consumed);
+        }
+        // Fast path: parse the rest of the chunk in place; only the
+        // trailing partial record (if any) is copied into the buffer.
+        if self.pending.is_empty() {
+            let consumed = scan(input, &mut self.stats, &mut self.in_desync, &mut *on);
+            self.pending.extend_from_slice(&input[consumed..]);
+        }
+    }
+
+    /// Ends the stream: a buffered partial record is reported as
+    /// [`DatEvent::Incomplete`] and discarded. The decoder is reusable
+    /// afterwards (stats keep accumulating).
+    pub fn finish(&mut self, on: &mut dyn FnMut(DatEvent)) {
+        if !self.pending.is_empty() {
+            self.stats.incomplete += 1;
+            on(DatEvent::Incomplete {
+                buffered: self.pending.len(),
+            });
+            self.pending.clear();
+        }
+        self.in_desync = false;
+    }
+
+    /// How many more bytes the buffered partial record needs before it can
+    /// complete. `pending` is always a strict prefix of one frame (the
+    /// scan consumed everything decidable), so with ≥ 2 bytes the length
+    /// field is present and nonzero.
+    fn record_need(pending: &[u8]) -> usize {
+        if pending.len() < 2 {
+            return 2 - pending.len();
+        }
+        let len = u16::from_be_bytes([pending[0], pending[1]]) as usize;
+        (2 + len).saturating_sub(pending.len())
+    }
+}
+
+/// Scans `bytes` for complete frames, emitting events, and returns how
+/// many bytes were consumed. Stops before a trailing partial frame.
+fn scan(
+    bytes: &[u8],
+    stats: &mut StreamStats,
+    in_desync: &mut bool,
+    on: &mut dyn FnMut(DatEvent),
+) -> usize {
+    let mut pos = 0usize;
+    while bytes.len() - pos >= 2 {
+        let len = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]) as usize;
+        if len == 0 {
+            // Corrupt framing: no valid frame has a zero length. Slide one
+            // byte and look again — guaranteed progress, never a spin.
+            if !*in_desync {
+                *in_desync = true;
+                on(DatEvent::Desync);
+            }
+            stats.resync_bytes += 1;
+            pos += 1;
+            continue;
+        }
+        let end = pos + 2 + len;
+        if end > bytes.len() {
+            break; // Partial frame: the caller buffers the tail.
+        }
+        *in_desync = false;
+        let code = bytes[pos + 2];
+        if code == BFEE_CODE {
+            match BfeeRecord::parse(&bytes[pos + 3..end]) {
+                Ok(r) => {
+                    stats.records += 1;
+                    on(DatEvent::Record(Box::new(r)));
+                }
+                Err(e) => {
+                    stats.malformed += 1;
+                    on(DatEvent::Malformed(e));
+                }
+            }
+        } else {
+            stats.skipped_codes += 1;
+            on(DatEvent::Skipped { code, len });
+        }
+        pos = end;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dat::write_dat;
+    use spotfi_math::{c64, CMat};
+
+    fn record(count: u16) -> BfeeRecord {
+        BfeeRecord {
+            timestamp_low: 42 + count as u32,
+            bfee_count: count,
+            nrx: 3,
+            ntx: 1,
+            rssi_a: 35,
+            rssi_b: 33,
+            rssi_c: 36,
+            noise: -92,
+            agc: 28,
+            antenna_sel: 0b100100,
+            rate: 0x100,
+            csi: CMat::from_fn(3, 30, |r, c| {
+                c64::new((r as f64 + 1.0) * 3.0, c as f64 - 15.0)
+            }),
+            extra_streams: Vec::new(),
+        }
+    }
+
+    fn collect(decoder: &mut DatStreamDecoder, chunks: &[&[u8]]) -> (Vec<BfeeRecord>, StreamStats) {
+        let mut records = Vec::new();
+        for chunk in chunks {
+            decoder.feed(chunk, &mut |e| {
+                if let DatEvent::Record(r) = e {
+                    records.push(*r);
+                }
+            });
+        }
+        decoder.finish(&mut |_| {});
+        (records, decoder.stats())
+    }
+
+    #[test]
+    fn whole_stream_matches_oneshot() {
+        let recs: Vec<BfeeRecord> = (0..4).map(record).collect();
+        let bytes = write_dat(&recs);
+        let (got, stats) = collect(&mut DatStreamDecoder::new(), &[&bytes]);
+        assert_eq!(got.len(), 4);
+        assert_eq!(stats.records, 4);
+        assert_eq!(stats.incomplete, 0);
+        for (a, b) in recs.iter().zip(&got) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_matches_oneshot() {
+        let recs: Vec<BfeeRecord> = (0..3).map(record).collect();
+        let bytes = write_dat(&recs);
+        let chunks: Vec<&[u8]> = bytes.chunks(1).collect();
+        let (got, _) = collect(&mut DatStreamDecoder::new(), &chunks);
+        assert_eq!(got, recs);
+    }
+
+    #[test]
+    fn trailing_partial_is_reported_incomplete() {
+        let mut bytes = write_dat(&[record(1)]);
+        bytes.extend_from_slice(&write_dat(&[record(2)])[..10]);
+        let mut dec = DatStreamDecoder::new();
+        let mut incomplete = 0usize;
+        dec.feed(&bytes, &mut |_| {});
+        dec.finish(&mut |e| {
+            if let DatEvent::Incomplete { buffered } = e {
+                incomplete = buffered;
+            }
+        });
+        assert_eq!(incomplete, 10);
+        assert_eq!(dec.stats().records, 1);
+        assert_eq!(dec.stats().incomplete, 1);
+    }
+
+    #[test]
+    fn zero_length_framing_resyncs_without_spinning() {
+        let mut bytes = vec![0u8; 7]; // zero length fields: pure desync
+        bytes.extend_from_slice(&write_dat(&[record(9)]));
+        let (got, stats) = collect(&mut DatStreamDecoder::new(), &[&bytes]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].bfee_count, 9);
+        assert!(stats.resync_bytes >= 7, "stats: {:?}", stats);
+    }
+}

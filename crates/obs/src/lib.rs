@@ -503,7 +503,14 @@ pub struct DiagnosticsSummary {
 ///   `fleet.ingested = fleet.accepted + fleet.dropped` (no packet is
 ///   silently lost), `fleet.accepted = fleet.processed` (every accepted
 ///   packet was drained before shutdown), and
-///   `fleet.fusions = fleet.updates + fleet.fusion_no_fix`.
+///   `fleet.fusions = fleet.updates + fleet.fusion_no_fix`, with
+///   `fleet.fusion_degraded ≤ fleet.updates` (degraded fixes are a subset
+///   of emitted fixes);
+/// - when the wire-ingest path ran (an `ingest.received` counter is
+///   present), every frame's fate is accounted:
+///   `ingest.received = ingest.decoded + ingest.corrupt +
+///   ingest.incomplete`, and the per-receiver `ingest.rx<id>.decoded`
+///   breakdown sums to `ingest.decoded`.
 ///
 /// The parser is line-oriented and matches the layout that
 /// [`Snapshot::to_diagnostics_json`] emits — it is a schema sanity check,
@@ -537,6 +544,13 @@ pub fn validate_diagnostics(json: &str) -> Result<DiagnosticsSummary, String> {
     let mut fleet_fusions: i128 = 0;
     let mut fleet_updates: i128 = 0;
     let mut fleet_no_fix: i128 = 0;
+    let mut fleet_degraded: i128 = 0;
+    let mut ingest_received: Option<i128> = None;
+    let mut ingest_decoded: i128 = 0;
+    let mut ingest_corrupt: i128 = 0;
+    let mut ingest_incomplete: i128 = 0;
+    let mut ingest_rx_decoded_sum: i128 = 0;
+    let mut ingest_rx_counters = 0usize;
     for line in json.lines() {
         let line = line.trim();
         if let Some(name) = field_str(line, "name") {
@@ -563,7 +577,17 @@ pub fn validate_diagnostics(json: &str) -> Result<DiagnosticsSummary, String> {
                     "fleet.fusions" => fleet_fusions = n,
                     "fleet.updates" => fleet_updates = n,
                     "fleet.fusion_no_fix" => fleet_no_fix = n,
-                    _ => {}
+                    "fleet.fusion_degraded" => fleet_degraded = n,
+                    "ingest.received" => ingest_received = Some(n),
+                    "ingest.decoded" => ingest_decoded = n,
+                    "ingest.corrupt" => ingest_corrupt = n,
+                    "ingest.incomplete" => ingest_incomplete = n,
+                    _ => {
+                        if name.starts_with("ingest.rx") && name.ends_with(".decoded") {
+                            ingest_rx_decoded_sum += n;
+                            ingest_rx_counters += 1;
+                        }
+                    }
                 }
             }
         }
@@ -620,6 +644,28 @@ pub fn validate_diagnostics(json: &str) -> Result<DiagnosticsSummary, String> {
                 "fleet counter mismatch: fleet.fusions = {fleet_fusions} but \
                  updates + fusion_no_fix = {}",
                 fleet_updates + fleet_no_fix
+            ));
+        }
+        if fleet_degraded > fleet_updates {
+            return Err(format!(
+                "fleet counter mismatch: fleet.fusion_degraded = {fleet_degraded} \
+                 exceeds fleet.updates = {fleet_updates}"
+            ));
+        }
+    }
+    if let Some(received) = ingest_received {
+        if received != ingest_decoded + ingest_corrupt + ingest_incomplete {
+            return Err(format!(
+                "ingest counter mismatch: ingest.received = {received} but \
+                 decoded + corrupt + incomplete = {} (a frame's fate was \
+                 silently unaccounted)",
+                ingest_decoded + ingest_corrupt + ingest_incomplete
+            ));
+        }
+        if ingest_rx_counters > 0 && ingest_rx_decoded_sum != ingest_decoded {
+            return Err(format!(
+                "ingest counter mismatch: per-receiver ingest.rx*.decoded sums \
+                 to {ingest_rx_decoded_sum} but ingest.decoded = {ingest_decoded}"
             ));
         }
     }
@@ -924,6 +970,63 @@ mod tests {
         // fusions ≠ updates + no_fix.
         let err = validate_diagnostics(&fleet_doc(100, 90, 10, 90, 5, 3, 1)).unwrap_err();
         assert!(err.contains("fleet.fusions"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_degraded_exceeding_updates() {
+        let _g = lock();
+        reset();
+        set_enabled(true);
+        time_ns("total", 1_000_000);
+        time_ns("stage.fuse", 100_000);
+        counter("fleet.ingested", 10);
+        counter("fleet.accepted", 10);
+        counter("fleet.processed", 10);
+        counter("fleet.fusions", 5);
+        counter("fleet.updates", 3);
+        counter("fleet.fusion_no_fix", 2);
+        counter("fleet.fusion_degraded", 4);
+        set_enabled(false);
+        let json = snapshot().to_diagnostics_json(&[("threads", "4".to_string())]);
+        let err = validate_diagnostics(&json).unwrap_err();
+        assert!(err.contains("fleet.fusion_degraded"), "{err}");
+    }
+
+    /// Wire-ingest fixture: a parallel document with the given frame-fate
+    /// totals and a two-receiver `ingest.rx*.decoded` breakdown.
+    fn ingest_doc(received: u64, decoded: u64, corrupt: u64, incomplete: u64, rx0: u64) -> String {
+        let _g = lock();
+        reset();
+        set_enabled(true);
+        time_ns("total", 1_000_000);
+        time_ns("stage.fuse", 100_000);
+        counter("ingest.received", received);
+        counter("ingest.decoded", decoded);
+        counter("ingest.corrupt", corrupt);
+        counter("ingest.incomplete", incomplete);
+        counter("ingest.rx0.decoded", rx0);
+        counter(
+            "ingest.rx1.decoded",
+            decoded.saturating_sub(rx0.min(decoded)),
+        );
+        set_enabled(false);
+        snapshot().to_diagnostics_json(&[("threads", "2".to_string())])
+    }
+
+    #[test]
+    fn validator_accepts_consistent_ingest_counters() {
+        let json = ingest_doc(20, 15, 3, 2, 6);
+        assert!(validate_diagnostics(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_ingest_counters() {
+        // received ≠ decoded + corrupt + incomplete: a frame's fate vanished.
+        let err = validate_diagnostics(&ingest_doc(20, 15, 3, 1, 6)).unwrap_err();
+        assert!(err.contains("ingest.received"), "{err}");
+        // Per-receiver breakdown disagrees with the fleet-wide total.
+        let err = validate_diagnostics(&ingest_doc(20, 15, 3, 2, 20)).unwrap_err();
+        assert!(err.contains("ingest.rx"), "{err}");
     }
 
     #[test]

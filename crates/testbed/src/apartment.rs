@@ -81,6 +81,34 @@ impl Apartment {
         }
     }
 
+    /// A dense perimeter deployment for >4-AP experiments: `n` APs evenly
+    /// spaced along a ring inset 0.5 m from the outer walls, walking
+    /// counterclockwise from the (0.5, 0.5) corner, every AP facing the
+    /// apartment's center. Spacings for n ∈ {8, 16, 32} land no AP on the
+    /// interior walls at x = 5 and x = 10.
+    pub fn perimeter_aps(n: usize) -> Vec<NamedAp> {
+        let (x0, y0, x1, y1) = (0.5f64, 0.5f64, 13.5f64, 7.5f64);
+        let (w, h) = (x1 - x0, y1 - y0);
+        let perimeter = 2.0 * (w + h);
+        let center = Point::new(7.0, 4.0);
+        (0..n)
+            .map(|i| {
+                let s = i as f64 * perimeter / n as f64;
+                // Walk the ring edge by edge: bottom, right, top, left.
+                let pos = if s < w {
+                    Point::new(x0 + s, y0)
+                } else if s < w + h {
+                    Point::new(x1, y0 + (s - w))
+                } else if s < w + h + w {
+                    Point::new(x1 - (s - w - h), y1)
+                } else {
+                    Point::new(x0, y1 - (s - w - h - w))
+                };
+                ap(&format!("RAP{}", i + 1), pos.x, pos.y, center)
+            })
+            .collect()
+    }
+
     /// Median number of interior walls between a room's targets and the
     /// living-room APs (diagnostics).
     pub fn median_wall_depth(&self, room: usize) -> usize {
@@ -119,6 +147,28 @@ mod tests {
             for t in room {
                 assert!((0.0..=14.0).contains(&t.position.x));
                 assert!((0.0..=8.0).contains(&t.position.y));
+            }
+        }
+    }
+
+    #[test]
+    fn perimeter_ring_stays_inside_and_off_interior_walls() {
+        for &n in &[8usize, 16, 32] {
+            let aps = Apartment::perimeter_aps(n);
+            assert_eq!(aps.len(), n);
+            let mut names: Vec<&str> = aps.iter().map(|a| a.name.as_str()).collect();
+            names.dedup();
+            assert_eq!(names.len(), n, "names must be unique");
+            for ap in &aps {
+                let p = ap.array.position;
+                assert!((0.5..=13.5).contains(&p.x) && (0.5..=7.5).contains(&p.y));
+                // Interior walls sit at x = 5 and x = 10; an AP placed on
+                // one would be embedded in concrete.
+                assert!((p.x - 5.0).abs() > 1e-9 && (p.x - 10.0).abs() > 1e-9);
+            }
+            // Evenly spaced: consecutive APs are distinct positions.
+            for w in aps.windows(2) {
+                assert!(w[0].array.position.distance(w[1].array.position) > 0.1);
             }
         }
     }

@@ -23,7 +23,9 @@ use crate::deployment::NamedAp;
 pub struct FleetScenarioConfig {
     /// Number of concurrent targets.
     pub targets: usize,
-    /// How many of the apartment's four APs to deploy (≥ 2).
+    /// How many APs to deploy (≥ 2). Up to 4 uses the apartment's standard
+    /// in-room APs; more switches to the dense perimeter ring
+    /// ([`Apartment::perimeter_aps`]), supporting 8/16/32-AP deployments.
     pub aps: usize,
     /// Packets each audible (target, AP) link contributes.
     pub packets_per_link: usize,
@@ -31,6 +33,14 @@ pub struct FleetScenarioConfig {
     pub speed_mps: f64,
     /// Channel re-trace distance for moving targets, meters.
     pub regen_distance_m: f64,
+    /// Independent per-packet delivery loss in \[0, 1): each scheduled
+    /// packet is dropped with this probability (seeded per link), modeling
+    /// a lossy backhaul between receivers and the fusion server.
+    pub loss_rate: f64,
+    /// Per-AP capture-clock drift, ± parts-per-million: each AP's
+    /// timestamps are scaled by a seeded factor in `1 ± ppm·1e-6`,
+    /// modeling unsynchronized receiver oscillators.
+    pub clock_drift_ppm: f64,
     /// Root seed; targets and links derive deterministically from it.
     pub seed: u64,
     /// Per-packet channel/impairment model.
@@ -52,6 +62,8 @@ impl FleetScenarioConfig {
             packets_per_link: 24,
             speed_mps: 0.35,
             regen_distance_m: 0.7,
+            loss_rate: 0.0,
+            clock_drift_ppm: 0.0,
             seed: 0xF1EE7,
             trace: TraceConfig::commodity(),
         }
@@ -90,6 +102,18 @@ pub struct FleetScenario {
     pub packet_interval_s: f64,
 }
 
+/// The AP set for an `n`-AP deployment: up to 4 draws from the
+/// apartment's standard in-room APs, beyond that the dense perimeter ring
+/// ([`Apartment::perimeter_aps`]). `ap_id`/`receiver_id` is the index
+/// into the returned list in both regimes.
+pub fn deployed_aps(n: usize) -> Vec<NamedAp> {
+    if n <= 4 {
+        Apartment::standard().aps.into_iter().take(n).collect()
+    } else {
+        Apartment::perimeter_aps(n)
+    }
+}
+
 fn mix(seed: u64, a: u64, b: u64) -> u64 {
     let mut z = seed
         .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + a))
@@ -109,8 +133,18 @@ impl FleetScenario {
     pub fn generate(cfg: &FleetScenarioConfig) -> FleetScenario {
         assert!(cfg.aps >= 2, "a fleet scenario needs ≥ 2 APs");
         let apartment = Apartment::standard();
-        let aps: Vec<NamedAp> = apartment.aps.into_iter().take(cfg.aps).collect();
+        let aps = deployed_aps(cfg.aps);
         let plan = apartment.floorplan;
+        // Per-AP clock-drift factors, fixed for the scenario's lifetime.
+        let drifts: Vec<f64> = (0..aps.len())
+            .map(|a| {
+                if cfg.clock_drift_ppm == 0.0 {
+                    return 0.0;
+                }
+                let mut drng = Rng::seed_from_u64(mix(cfg.seed, 0xD51F7, a as u64));
+                (drng.gen::<f64>() * 2.0 - 1.0) * cfg.clock_drift_ppm * 1e-6
+            })
+            .collect();
         let interval = cfg.trace.packet_interval_s;
         let mcfg = MovingTraceConfig {
             trace: cfg.trace.clone(),
@@ -157,8 +191,15 @@ impl FleetScenario {
                 // from different APs deterministically ordered without
                 // perturbing the motion model measurably.
                 let skew = ap_id as f64 * 1e-4;
+                let drift = drifts[ap_id as usize];
+                let mut loss_rng =
+                    Rng::seed_from_u64(mix(cfg.seed, 0x1055 ^ (t as u64), ap_id as u64));
                 for mut packet in packets {
+                    if cfg.loss_rate > 0.0 && loss_rng.gen::<f64>() < cfg.loss_rate {
+                        continue;
+                    }
                     packet.timestamp_s += start_offset_s + skew;
+                    packet.timestamp_s *= 1.0 + drift;
                     schedule.push(FleetPacket {
                         target_id,
                         ap_id,
@@ -245,6 +286,67 @@ mod tests {
             assert_eq!(x.packet.timestamp_s, y.packet.timestamp_s);
             assert_eq!(x.packet.rssi_dbm, y.packet.rssi_dbm);
         }
+    }
+
+    #[test]
+    fn loss_thins_the_schedule_deterministically() {
+        let base = FleetScenarioConfig {
+            targets: 3,
+            packets_per_link: 8,
+            ..FleetScenarioConfig::apartment(3)
+        };
+        let clean = FleetScenario::generate(&base);
+        let lossy_cfg = FleetScenarioConfig {
+            loss_rate: 0.3,
+            ..base.clone()
+        };
+        let lossy = FleetScenario::generate(&lossy_cfg);
+        assert!(
+            lossy.schedule.len() < clean.schedule.len(),
+            "30% loss must thin the schedule ({} vs {})",
+            lossy.schedule.len(),
+            clean.schedule.len()
+        );
+        assert!(!lossy.schedule.is_empty());
+        let again = FleetScenario::generate(&lossy_cfg);
+        assert_eq!(lossy.schedule.len(), again.schedule.len());
+    }
+
+    #[test]
+    fn clock_drift_skews_timestamps_without_losing_packets() {
+        let base = FleetScenarioConfig {
+            targets: 2,
+            packets_per_link: 6,
+            ..FleetScenarioConfig::apartment(2)
+        };
+        let clean = FleetScenario::generate(&base);
+        let drifted = FleetScenario::generate(&FleetScenarioConfig {
+            clock_drift_ppm: 1000.0,
+            ..base
+        });
+        assert_eq!(clean.schedule.len(), drifted.schedule.len());
+        let sum =
+            |s: &FleetScenario| -> f64 { s.schedule.iter().map(|p| p.packet.timestamp_s).sum() };
+        let (a, b) = (sum(&clean), sum(&drifted));
+        assert!(a != b, "drift must move timestamps");
+        // ±1000 ppm is a relative skew, not a reshuffle: totals agree to 1%.
+        assert!((a - b).abs() / a.abs().max(1e-12) < 0.01);
+    }
+
+    #[test]
+    fn perimeter_deployment_supports_eight_aps() {
+        let s = FleetScenario::generate(&FleetScenarioConfig {
+            targets: 2,
+            aps: 8,
+            packets_per_link: 4,
+            ..FleetScenarioConfig::apartment(2)
+        });
+        assert_eq!(s.aps.len(), 8);
+        let heard: std::collections::HashSet<u32> = s.schedule.iter().map(|p| p.ap_id).collect();
+        assert!(
+            heard.len() > 4,
+            "a ring of 8 must contribute links beyond the standard 4: {heard:?}"
+        );
     }
 
     #[test]

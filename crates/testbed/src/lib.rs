@@ -27,8 +27,9 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
+pub use apartment::Apartment;
 pub use deployment::Deployment;
-pub use fleet::{FleetScenario, FleetScenarioConfig, FleetTarget};
+pub use fleet::{deployed_aps, FleetScenario, FleetScenarioConfig, FleetTarget};
 pub use report::FigureSeries;
 pub use runner::{LinkRecord, LocalizationRecord, Runner, RunnerConfig};
 pub use scenario::Scenario;
